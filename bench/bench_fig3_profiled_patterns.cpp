@@ -1,0 +1,47 @@
+// Fig. 3 / Fig. 8: structure of the (synthetic) profiled chips — rate vs
+// voltage, persistence across voltages, column alignment, and the
+// 0-to-1 / 1-to-0 flip-type breakdown. No training.
+#include "bench_util.h"
+
+int main() {
+  using namespace ber;
+  bench::banner("Fig. 3 / Fig. 8", "profiled chip error-map structure");
+
+  const std::vector<std::pair<std::string, ProfiledChipConfig>> chips{
+      {"Chip 1 (uniform-like)", ProfiledChipConfig::chip1()},
+      {"Chip 2 (column-aligned, 0-to-1 biased)", ProfiledChipConfig::chip2()},
+      {"Chip 3 (mildly column-aligned)", ProfiledChipConfig::chip3()}};
+
+  for (const auto& [label, cfg] : chips) {
+    ProfiledChip chip(cfg);
+    std::printf("%s — %ldx%ld cells\n", label.c_str(), cfg.rows, cfg.cols);
+    TablePrinter t({"V/Vmin", "measured p (%)", "0-to-1 share of faults",
+                    "vulnerable columns"});
+    long vuln_cols = 0;
+    for (long c = 0; c < cfg.cols; ++c) vuln_cols += chip.column_vulnerable(c);
+    for (double v : {0.92, 0.88, 0.84, 0.80}) {
+      t.add_row({TablePrinter::fmt(v, 2),
+                 TablePrinter::fmt(100.0 * chip.error_rate_at(v), 3),
+                 TablePrinter::fmt(chip.set1_share_at(v), 2),
+                 std::to_string(vuln_cols) + "/" + std::to_string(cfg.cols)});
+    }
+    t.print();
+
+    // Persistence check (Fig. 3: errors at higher voltage are a subset).
+    long hi_faults = 0, persistent = 0;
+    for (long r = 0; r < std::min(cfg.rows, 512L); ++r) {
+      for (long c = 0; c < cfg.cols; ++c) {
+        if (chip.is_faulty(r, c, 0.88)) {
+          ++hi_faults;
+          if (chip.is_faulty(r, c, 0.84)) ++persistent;
+        }
+      }
+    }
+    std::printf("persistence: %ld/%ld faults at 0.88 Vmin also present at "
+                "0.84 Vmin\n\n",
+                persistent, hi_faults);
+  }
+  std::printf("Paper shape: lower voltage = strictly more errors; chip 2 "
+              "clusters along columns with dominant 0-to-1 flips.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Kernel microbenchmarks (google-benchmark): GEMM, conv forward, quantize /
+// dequantize / bit injection throughput, and end-to-end inference latency
+// with and without bit errors — supporting the paper's claim that RandBET
+// "does not affect inference" (bit errors are a memory phenomenon, not a
+// compute one).
+#include <benchmark/benchmark.h>
+
+#include "ber.h"
+
+namespace {
+
+using namespace ber;
+
+void BM_Gemm(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv(16, 32, 3, 1, 1);
+  for (Param* p : conv.params()) {
+    for (long i = 0; i < p->value.numel(); ++i) p->value[i] = rng.normal() * 0.1f;
+  }
+  Tensor x = Tensor::randn({8, 16, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_Quantize(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<float> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const QuantScheme scheme = QuantScheme::rquant(8);
+  for (auto _ : state) {
+    QuantizedTensor qt = quantize(w, scheme);
+    benchmark::DoNotOptimize(qt.codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Quantize)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Dequantize(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<float> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  QuantizedTensor qt = quantize(w, QuantScheme::rquant(8));
+  std::vector<float> out(w.size());
+  for (auto _ : state) {
+    dequantize(qt, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Dequantize)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_InjectBitErrors(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<float> w(1 << 16);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  NetSnapshot base;
+  base.tensors.push_back(quantize(w, QuantScheme::rquant(8)));
+  base.offsets.push_back(0);
+  BitErrorConfig cfg;
+  cfg.p = static_cast<double>(state.range(0)) / 10000.0;
+  std::uint64_t chip = 0;
+  for (auto _ : state) {
+    NetSnapshot snap = base;
+    inject_random_bit_errors(snap, cfg, ++chip);
+    benchmark::DoNotOptimize(snap.tensors[0].codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16) * 8);
+}
+BENCHMARK(BM_InjectBitErrors)->Arg(10)->Arg(100)->Arg(250);  // p = 0.1/1/2.5 %
+
+// Inference latency is IDENTICAL with and without bit errors: errors perturb
+// the stored weights once; the forward pass does the same work.
+void BM_InferenceClean(benchmark::State& state) {
+  Rng rng(6);
+  ModelConfig mc;
+  auto model = build_model(mc);
+  he_init(*model, rng);
+  Tensor x = Tensor::randn({1, 3, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = model->forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_InferenceClean);
+
+void BM_InferenceWithBitErrors(benchmark::State& state) {
+  Rng rng(7);
+  ModelConfig mc;
+  auto model = build_model(mc);
+  he_init(*model, rng);
+  // Perturb the deployed weights once (the low-voltage scenario).
+  NetQuantizer quantizer(QuantScheme::rquant(8));
+  NetSnapshot snap = quantizer.quantize(model->params());
+  BitErrorConfig cfg;
+  cfg.p = 0.01;
+  inject_random_bit_errors(snap, cfg, 42);
+  quantizer.write_dequantized(snap, model->params());
+  Tensor x = Tensor::randn({1, 3, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = model->forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_InferenceWithBitErrors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Tab. 13: curricular and alternating RandBET variants — neither beats the
+// plain summed-gradient formulation of Alg. 1.
+#include "bench_util.h"
+
+int main() {
+  using namespace ber;
+  using namespace ber::bench;
+  banner("Tab. 13", "RandBET variants (curricular / alternating)");
+
+  const std::vector<std::string> models{"c10_randbet015_p1",
+                                        "c10_randbet015_p1_curr",
+                                        "c10_randbet015_p1_alt"};
+  zoo::ensure(models);
+
+  TablePrinter t({"Model", "Err (%)", "RErr p=0.1%", "RErr p=1%"});
+  for (const auto& name : models) {
+    t.add_row({zoo::spec(name).label, TablePrinter::fmt(clean_err_pct(name), 2),
+               fmt_rerr(rerr(name, 0.001)), fmt_rerr(rerr(name, 0.01))});
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape (Tab. 13): both variants land close to but slightly "
+      "worse than plain RandBET — the simple summed-gradient update is the "
+      "right default.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Tab. 14: the recipe transfers to residual architectures.
+#include "bench_util.h"
+
+int main() {
+  using namespace ber;
+  using namespace ber::bench;
+  banner("Tab. 14", "Clipping / RandBET on a residual architecture");
+
+  const std::vector<std::string> models{
+      "c10_resnet_rquant", "c10_resnet_clip015", "c10_resnet_randbet015_p1"};
+  zoo::ensure(models);
+
+  TablePrinter t({"Model", "Err (%)", "RErr p=0.5%", "RErr p=1.5%"});
+  for (const auto& name : models) {
+    t.add_row({zoo::spec(name).label, TablePrinter::fmt(clean_err_pct(name), 2),
+               fmt_rerr(rerr(name, 0.005)), fmt_rerr(rerr(name, 0.015))});
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape (Tab. 14): same ordering as SimpleNet — RQuant "
+      "collapses at high p, clipping contains it, RandBET wins.\n");
+  return 0;
+}

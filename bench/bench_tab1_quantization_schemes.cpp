@@ -1,0 +1,41 @@
+// Tab. 1 / Tab. 8: impact of the fixed-point quantization scheme on
+// robustness. Each scheme is trained with quantization-aware training, as in
+// the paper; clean Err barely moves while RErr changes dramatically.
+#include "bench_util.h"
+
+int main() {
+  using namespace ber;
+  using namespace ber::bench;
+  banner("Tab. 1 / Tab. 8", "quantization scheme ablation (QAT per scheme)");
+
+  const std::vector<std::string> m8{"c10_global", "c10_normal",
+                                    "c10_asym_signed", "c10_asym_unsigned",
+                                    "c10_rquant"};
+  const std::vector<std::string> m4{"c10_clip015_m4_trunc", "c10_clip015_m4"};
+  std::vector<std::string> all = m8;
+  all.insert(all.end(), m4.begin(), m4.end());
+  zoo::ensure(all);
+
+  const std::vector<double> grid{0.0001, 0.0005, 0.001, 0.005, 0.01};
+  std::vector<std::string> headers{"Quantization Scheme", "Err (%)"};
+  for (double p : grid) {
+    headers.push_back("RErr p=" + TablePrinter::fmt(100 * p, 2) + "%");
+  }
+  TablePrinter t(headers);
+  auto add = [&](const std::string& name) {
+    std::vector<std::string> row{zoo::spec(name).label,
+                                 TablePrinter::fmt(clean_err_pct(name), 2)};
+    for (double p : grid) row.push_back(fmt_rerr(rerr(name, p)));
+    t.add_row(std::move(row));
+  };
+  for (const auto& name : m8) add(name);
+  t.add_separator();
+  for (const auto& name : m4) add(name);
+  t.print();
+  std::printf(
+      "\nPaper shape: global quantization collapses at tiny p; per-layer "
+      "fixes small p; unsigned codes + rounding (RQuant) dominate at large "
+      "p. At 4 bit, training without rounding is catastrophic while clean "
+      "Err looks almost fine.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Tab. 6: architecture inventory — layers, weight counts W, and the
+// expected number of bit errors p*m*W at various rates.
+#include "bench_util.h"
+
+int main() {
+  using namespace ber;
+  bench::banner("Tab. 6", "architectures, weight counts, expected bit errors");
+
+  struct Entry {
+    std::string label;
+    ModelConfig cfg;
+  };
+  std::vector<Entry> entries;
+  {
+    ModelConfig c10;  // defaults
+    entries.push_back({"SimpleNet-GN (CIFAR10/100 analog)", c10});
+    ModelConfig mnist = c10;
+    mnist.in_channels = 1;
+    entries.push_back({"SimpleNet-GN (MNIST analog)", mnist});
+    ModelConfig bn = c10;
+    bn.norm = NormKind::kBatchNorm;
+    entries.push_back({"SimpleNet-BN", bn});
+    ModelConfig res = c10;
+    res.arch = Arch::kResNetSmall;
+    entries.push_back({"ResNet-small-GN", res});
+  }
+
+  TablePrinter t({"Architecture", "layers", "W (weights)", "pmW @ p=0.1% m=8",
+                  "pmW @ p=1% m=8", "pmW @ p=1% m=4"});
+  for (const auto& e : entries) {
+    auto model = build_model(e.cfg);
+    long layers = 0;
+    model->visit([&](Layer&) { ++layers; });
+    const long w = model->num_weights();
+    t.add_row({e.label, std::to_string(layers), std::to_string(w),
+               TablePrinter::fmt(expected_bit_errors(0.001, 8, w), 0),
+               TablePrinter::fmt(expected_bit_errors(0.01, 8, w), 0),
+               TablePrinter::fmt(expected_bit_errors(0.01, 4, w), 0)});
+  }
+  t.print();
+
+  std::printf("\nLayer listing (SimpleNet-GN, CIFAR10 analog):\n");
+  auto model = build_model(ModelConfig{});
+  model->visit([&](Layer& l) {
+    if (dynamic_cast<Sequential*>(&l) == nullptr) {
+      std::printf("  %s\n", l.name().c_str());
+    }
+  });
+  std::printf(
+      "\nPaper scale note: the paper's SimpleNet has W=5.5M on CIFAR10; this "
+      "reproduction is deliberately ~250x smaller for CPU training, and bit "
+      "errors are i.i.d. per weight so the per-weight error statistics "
+      "match.\n");
+  return 0;
+}

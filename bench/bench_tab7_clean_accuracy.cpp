@@ -1,0 +1,27 @@
+// Tab. 7: clean quantization-aware accuracies per precision / architecture /
+// dataset.
+#include "bench_util.h"
+
+int main() {
+  using namespace ber;
+  using namespace ber::bench;
+  banner("Tab. 7", "clean Err of quantization-aware training");
+
+  const std::vector<std::string> models{
+      "c10_rquant",      "c10_clip015_m4", "c10_rquant_bn", "c10_resnet_rquant",
+      "mnist_rquant",    "mnist_randbet01_p5_m2", "c100_rquant"};
+  zoo::ensure(models);
+
+  TablePrinter t({"Dataset", "Model", "m (bits)", "Err (%)"});
+  for (const auto& name : models) {
+    const zoo::Spec& s = zoo::spec(name);
+    t.add_row({s.dataset, s.label, std::to_string(s.train_cfg.quant.bits),
+               TablePrinter::fmt(clean_err_pct(name), 2)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape: m=8 is accuracy-neutral; m=4 costs ~1%%; BN slightly "
+      "beats GN on clean Err (but loses badly on robustness, Tab. 10); the "
+      "MNIST analog stays accurate even at 2 bits.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace ber::bench {
+
+void banner(const std::string& paper_ref, const std::string& what) {
+  std::printf("=== %s — %s ===\n", paper_ref.c_str(), what.c_str());
+  std::printf(
+      "(reproduction on synthetic data/scaled models; compare SHAPE, not "
+      "absolute values — see EXPERIMENTS.md)\n\n");
+}
+
+double clean_err_pct(const std::string& name) {
+  const zoo::Spec& s = zoo::spec(name);
+  Sequential& model = zoo::get(name);
+  const QuantScheme scheme = s.train_cfg.quant;
+  return 100.0 * test_error(model, zoo::test_set(s.dataset), &scheme);
+}
+
+RobustResult rerr(const std::string& name, double p) {
+  return rerr_with_scheme(name, zoo::scheme_of(name), p);
+}
+
+RobustResult rerr_with_scheme(const std::string& name,
+                              const QuantScheme& scheme, double p) {
+  const zoo::Spec& s = zoo::spec(name);
+  Sequential& model = zoo::get(name);
+  BitErrorConfig cfg;
+  cfg.p = p;
+  return robust_error(model, scheme, zoo::rerr_set(s.dataset), cfg,
+                      zoo::default_chips(),
+                      /*seed_base=*/1000);
+}
+
+std::string fmt_rerr(const RobustResult& r) {
+  return TablePrinter::fmt_pm(100.0 * r.mean_rerr, 100.0 * r.std_rerr);
+}
+
+const std::vector<double>& c10_p_grid() {
+  static const std::vector<double> g{0.0001, 0.0005, 0.001, 0.005,
+                                     0.01,   0.015,  0.025};
+  return g;
+}
+
+const std::vector<double>& c100_p_grid() {
+  static const std::vector<double> g{0.00001, 0.0001, 0.0005, 0.001, 0.005,
+                                     0.01};
+  return g;
+}
+
+const std::vector<double>& mnist_p_grid() {
+  static const std::vector<double> g{0.01, 0.05, 0.10, 0.15, 0.20};
+  return g;
+}
+
+}  // namespace ber::bench

@@ -1,0 +1,33 @@
+// Shared helpers for the paper-table bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "zoo.h"
+
+namespace ber::bench {
+
+// Prints the bench banner: which paper artifact this binary regenerates.
+void banner(const std::string& paper_ref, const std::string& what);
+
+// Clean test error (in %) of a zoo model, quantized with its own scheme.
+double clean_err_pct(const std::string& name);
+
+// RErr (in %) of a zoo model at bit error rate p (fraction), under the
+// model's own quantization scheme and the uniform flip model.
+RobustResult rerr(const std::string& name, double p);
+
+// RErr under an explicit scheme (post-training scheme ablations).
+RobustResult rerr_with_scheme(const std::string& name,
+                              const QuantScheme& scheme, double p);
+
+// Formats "mean ±std" of a RobustResult in %.
+std::string fmt_rerr(const RobustResult& r);
+
+// Standard p grids (in %), matching the paper's columns.
+const std::vector<double>& c10_p_grid();    // 0.01 .. 2.5
+const std::vector<double>& c100_p_grid();   // 0.001 .. 1
+const std::vector<double>& mnist_p_grid();  // 1 .. 20
+
+}  // namespace ber::bench

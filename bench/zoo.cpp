@@ -1,0 +1,293 @@
+#include "zoo.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace ber::zoo {
+
+namespace {
+
+SyntheticConfig data_config(const std::string& tag) {
+  if (tag == "c10") return SyntheticConfig::cifar10();
+  if (tag == "mnist") return SyntheticConfig::mnist();
+  if (tag == "c100") return SyntheticConfig::cifar100();
+  throw std::invalid_argument("zoo: unknown dataset tag " + tag);
+}
+
+ModelConfig model_for(const std::string& tag) {
+  ModelConfig mc;
+  const SyntheticConfig dc = data_config(tag);
+  mc.in_channels = dc.channels;
+  mc.image_size = dc.image_size;
+  mc.num_classes = dc.num_classes;
+  return mc;
+}
+
+TrainConfig base_train(const std::string& tag) {
+  TrainConfig tc;
+  tc.batch_size = 50;
+  tc.lr_warmup_epochs = 3;  // the small GN CNNs need it (see DESIGN.md)
+  if (tag == "mnist") {
+    tc.epochs = fast_mode() ? 3 : 12;
+    tc.lr_warmup_epochs = 2;
+  } else {
+    tc.epochs = fast_mode() ? 4 : 25;
+  }
+  if (tag == "c100") tc.bit_error_loss_threshold = 3.0f;
+  return tc;
+}
+
+// Shorthand builders for the spec table.
+Spec make(const std::string& name, const std::string& tag, Method method,
+          QuantScheme quant, float wmax, double p_train,
+          const std::string& label) {
+  Spec s;
+  s.name = name;
+  s.dataset = tag;
+  s.model = model_for(tag);
+  s.train_cfg = base_train(tag);
+  s.train_cfg.method = method;
+  s.train_cfg.quant = quant;
+  s.train_cfg.wmax = wmax;
+  s.train_cfg.p_train = p_train;
+  if (quant.bits <= 4) {
+    // Low-precision QAT needs a gentler schedule at this model scale.
+    s.train_cfg.sgd.lr = 0.03f;
+    s.train_cfg.lr_warmup_epochs = 6;
+  }
+  s.label = label;
+  return s;
+}
+
+std::vector<Spec> build_specs() {
+  std::vector<Spec> v;
+  const QuantScheme rq8 = QuantScheme::rquant(8);
+  const QuantScheme rq4 = QuantScheme::rquant(4);
+
+  // --- Tab. 1 quantization-scheme ablation (each scheme trained with QAT).
+  v.push_back(make("c10_global", "c10", Method::kNormal,
+                   QuantScheme::global_symmetric(8), 0, 0, "Eq.(1), global"));
+  v.push_back(make("c10_normal", "c10", Method::kNormal, QuantScheme::normal(8),
+                   0, 0, "Eq.(1), per-layer (=Normal)"));
+  v.push_back(make("c10_asym_signed", "c10", Method::kNormal,
+                   QuantScheme{8, RangeScope::kPerTensor, true, false, false},
+                   0, 0, "+asymmetric"));
+  v.push_back(make("c10_asym_unsigned", "c10", Method::kNormal,
+                   QuantScheme{8, RangeScope::kPerTensor, true, true, false},
+                   0, 0, "+unsigned"));
+  v.push_back(make("c10_rquant", "c10", Method::kNormal, rq8, 0, 0,
+                   "+rounding (=RQuant)"));
+  v.push_back(make("c10_clip015_m4_trunc", "c10", Method::kClipping,
+                   QuantScheme::rquant_trunc(4), 0.15f, 0,
+                   "4-bit w/o rounding*"));
+  v.push_back(make("c10_clip015_m4", "c10", Method::kClipping, rq4, 0.15f, 0,
+                   "4-bit w/ rounding*"));
+
+  // --- Tab. 2 / Fig. 2/6/7 clipping sweep (+ label smoothing controls).
+  // The wmax grid is shifted up vs the paper's {0.15..0.025}: our scaled-down
+  // nets have a 48-wide head, so their natural weight scale is larger; the
+  // sweep spans the same regimes (harmless -> effective -> too aggressive).
+  for (float wmax : {0.3f, 0.2f, 0.15f, 0.1f}) {
+    Spec s = make("c10_clip" + std::to_string(static_cast<int>(wmax * 1000)),
+                  "c10", Method::kClipping, rq8, wmax, 0,
+                  "Clipping_" + TablePrinter::fmt(wmax, 2));
+    v.push_back(std::move(s));
+  }
+  for (float wmax : {0.2f, 0.15f}) {
+    Spec s = make(
+        "c10_clip" + std::to_string(static_cast<int>(wmax * 1000)) + "_ls",
+        "c10", Method::kClipping, rq8, wmax, 0,
+        "Clipping_" + TablePrinter::fmt(wmax, 2) + "+LS");
+    s.train_cfg.label_smoothing = 0.1f;
+    v.push_back(std::move(s));
+  }
+
+  // --- Tab. 4 / Fig. 2/7 RandBET.
+  v.push_back(make("c10_randbet015_p1", "c10", Method::kRandBET, rq8, 0.15f,
+                   0.01, "RandBET_0.15 p=1"));
+  v.push_back(make("c10_randbet01_p15", "c10", Method::kRandBET, rq8, 0.1f,
+                   0.015, "RandBET_0.1 p=1.5"));
+  v.push_back(make("c10_randbet_noclip_p1", "c10", Method::kRandBET, rq8, 0,
+                   0.01, "RandBET w/o clipping p=1"));
+  v.push_back(make("c10_randbet015_p1_m4", "c10", Method::kRandBET, rq4, 0.15f,
+                   0.01, "RandBET_0.15 p=1 (4-bit)"));
+
+  // --- Tab. 3 PattBET (fixed-pattern training).
+  v.push_back(make("c10_pattbet_p25", "c10", Method::kPattBET, rq8, 0, 0.025,
+                   "PattBET p=2.5"));
+  v.push_back(make("c10_pattbet015_p25", "c10", Method::kPattBET, rq8, 0.15f,
+                   0.025, "PattBET_0.15 p=2.5"));
+
+  // --- Tab. 10 BatchNorm comparison.
+  {
+    Spec s = make("c10_rquant_bn", "c10", Method::kNormal, rq8, 0, 0,
+                  "BN RQuant");
+    s.model.norm = NormKind::kBatchNorm;
+    v.push_back(std::move(s));
+    Spec c = make("c10_clip015_bn", "c10", Method::kClipping, rq8, 0.15f, 0,
+                  "BN Clipping_0.15");
+    c.model.norm = NormKind::kBatchNorm;
+    v.push_back(std::move(c));
+  }
+
+  // --- Tab. 14 ResNet.
+  for (const auto& [suffix, method, wmax, p, label] :
+       std::vector<std::tuple<std::string, Method, float, double, std::string>>{
+           {"rquant", Method::kNormal, 0.0f, 0.0, "ResNet RQuant"},
+           {"clip015", Method::kClipping, 0.15f, 0.0, "ResNet Clipping_0.15"},
+           {"randbet015_p1", Method::kRandBET, 0.15f, 0.01,
+            "ResNet RandBET_0.15 p=1"}}) {
+    Spec s = make("c10_resnet_" + suffix, "c10", method, rq8, wmax, p, label);
+    s.model.arch = Arch::kResNetSmall;
+    v.push_back(std::move(s));
+  }
+
+  // --- Tab. 9 post-training quantization (no QAT).
+  {
+    Spec s = make("c10_noqat", "c10", Method::kNormal, rq8, 0, 0,
+                  "RQuant (post-train)");
+    s.train_cfg.quant_aware = false;
+    v.push_back(std::move(s));
+    Spec c = make("c10_noqat_clip015", "c10", Method::kClipping, rq8, 0.15f, 0,
+                  "Clipping_0.15 (post-train)");
+    c.train_cfg.quant_aware = false;
+    v.push_back(std::move(c));
+  }
+
+  // --- Tab. 12 symmetric quantization.
+  v.push_back(make("c10_clip015_sym", "c10", Method::kClipping,
+                   QuantScheme::symmetric_rounded(8), 0.15f, 0,
+                   "Clipping_0.15 (sym)"));
+  v.push_back(make("c10_randbet015_p1_sym", "c10", Method::kRandBET,
+                   QuantScheme::symmetric_rounded(8), 0.15f, 0.01,
+                   "RandBET_0.15 p=1 (sym)"));
+
+  // --- Tab. 13 RandBET variants.
+  {
+    Spec s = make("c10_randbet015_p1_curr", "c10", Method::kRandBET, rq8,
+                  0.15f, 0.01, "Curr. RandBET_0.15 p=1");
+    s.train_cfg.curricular = true;
+    v.push_back(std::move(s));
+    Spec a = make("c10_randbet015_p1_alt", "c10", Method::kRandBET, rq8, 0.15f,
+                  0.01, "Alt. RandBET_0.15 p=1");
+    a.train_cfg.alternating = true;
+    v.push_back(std::move(a));
+  }
+
+  // --- MNIST-analog (Fig. 7 / Tab. 21): much higher tolerable rates.
+  v.push_back(make("mnist_rquant", "mnist", Method::kNormal, rq8, 0, 0,
+                   "RQuant"));
+  v.push_back(make("mnist_clip01", "mnist", Method::kClipping, rq8, 0.1f, 0,
+                   "Clipping_0.1"));
+  v.push_back(make("mnist_randbet01_p5", "mnist", Method::kRandBET, rq8, 0.1f,
+                   0.05, "RandBET_0.1 p=5"));
+  v.push_back(make("mnist_randbet01_p10", "mnist", Method::kRandBET, rq8,
+                   0.1f, 0.10, "RandBET_0.1 p=10"));
+  v.push_back(make("mnist_randbet01_p5_m2", "mnist", Method::kRandBET,
+                   QuantScheme::rquant(2), 0.1f, 0.05,
+                   "RandBET_0.1 p=5 (2-bit)"));
+
+  // --- CIFAR100-analog (Fig. 7 / Tab. 20).
+  v.push_back(make("c100_rquant", "c100", Method::kNormal, rq8, 0, 0,
+                   "RQuant"));
+  v.push_back(make("c100_clip015", "c100", Method::kClipping, rq8, 0.15f, 0,
+                   "Clipping_0.15"));
+  v.push_back(make("c100_randbet015_p05", "c100", Method::kRandBET, rq8,
+                   0.15f, 0.005, "RandBET_0.15 p=0.5"));
+  return v;
+}
+
+std::mutex& zoo_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Dataset>& dataset_cache() {
+  static std::map<std::string, Dataset> c;
+  return c;
+}
+
+const Dataset& dataset(const std::string& key) {
+  std::lock_guard<std::mutex> lock(zoo_mutex());
+  auto& cache = dataset_cache();
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const std::string tag = key.substr(0, key.find('/'));
+  const std::string split = key.substr(key.find('/') + 1);
+  SyntheticConfig cfg = data_config(tag);
+  Dataset d = make_synthetic(cfg, split == "train");
+  if (split == "rerr") d = d.head(fast_mode() ? 200 : 500);
+  return cache.emplace(key, std::move(d)).first->second;
+}
+
+std::string artifact_path(const Spec& s) {
+  return artifacts_dir() + "/" + s.name + ".model";
+}
+
+// Trains the spec and writes the checkpoint (no memoization).
+void train_to_disk(const Spec& s) {
+  auto model = build_model(s.model);
+  const TrainStats stats =
+      train(*model, train_set(s.dataset), test_set(s.dataset), s.train_cfg);
+  ensure_dir(artifacts_dir());
+  model->save(artifact_path(s));
+  std::fprintf(stderr, "[zoo] trained %-28s Err %.2f%%\n", s.name.c_str(),
+               100.0 * stats.final_test_err);
+}
+
+}  // namespace
+
+const std::vector<Spec>& all_specs() {
+  static const std::vector<Spec> specs = build_specs();
+  return specs;
+}
+
+const Spec& spec(const std::string& name) {
+  for (const Spec& s : all_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("zoo: unknown model " + name);
+}
+
+const Dataset& train_set(const std::string& tag) { return dataset(tag + "/train"); }
+const Dataset& test_set(const std::string& tag) { return dataset(tag + "/test"); }
+const Dataset& rerr_set(const std::string& tag) { return dataset(tag + "/rerr"); }
+
+int default_chips() { return fast_mode() ? 2 : 5; }
+
+const QuantScheme& scheme_of(const std::string& name) {
+  return spec(name).train_cfg.quant;
+}
+
+Sequential& get(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<Sequential>> cache;
+  {
+    std::lock_guard<std::mutex> lock(zoo_mutex());
+    auto it = cache.find(name);
+    if (it != cache.end()) return *it->second;
+  }
+  const Spec& s = spec(name);
+  if (!file_exists(artifact_path(s))) train_to_disk(s);
+  auto model = build_model(s.model);
+  model->load(artifact_path(s));
+  std::lock_guard<std::mutex> lock(zoo_mutex());
+  auto [it, inserted] = cache.emplace(name, std::move(model));
+  return *it->second;
+}
+
+void ensure(const std::vector<std::string>& names) {
+  // Datasets must exist before parallel training (dataset() locks).
+  std::vector<const Spec*> missing;
+  for (const auto& n : names) {
+    const Spec& s = spec(n);
+    train_set(s.dataset);
+    test_set(s.dataset);
+    if (!file_exists(artifact_path(s))) missing.push_back(&s);
+  }
+  if (missing.empty()) return;
+  parallel_for(static_cast<std::int64_t>(missing.size()), 2,
+               [&](std::int64_t i) { train_to_disk(*missing[i]); });
+}
+
+}  // namespace ber::zoo

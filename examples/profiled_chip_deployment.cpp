@@ -1,0 +1,66 @@
+// Deployment rehearsal on unseen profiled chips: take a RandBET-trained
+// model (trained ONLY on uniform random bit errors) and qualify it on three
+// synthetic profiled chips with different error structure — the Tab. 5
+// cross-chip generalization story as a go/no-go voltage selection tool.
+//
+//   ./example_profiled_chip_deployment
+#include <cstdio>
+
+#include "ber.h"
+
+int main() {
+  using namespace ber;
+
+  SyntheticConfig data_cfg = SyntheticConfig::cifar10();
+  data_cfg.n_train = 1500;
+  data_cfg.n_test = 500;
+  const Dataset train_set = make_synthetic(data_cfg, true);
+  const Dataset test_set = make_synthetic(data_cfg, false);
+
+  ModelConfig mc;
+  mc.width = 8;
+  auto model = build_model(mc);
+  TrainConfig tc;
+  tc.method = Method::kRandBET;
+  tc.wmax = 0.15f;
+  tc.p_train = 0.015;
+  tc.epochs = 30;
+  tc.lr_warmup_epochs = 3;
+  train(*model, train_set, test_set, tc);
+  const QuantScheme scheme = tc.quant;
+  const float clean = 100.0f * test_error(*model, test_set, &scheme);
+  std::printf("RandBET model ready, clean Err %.2f%%\n", clean);
+  std::printf("qualification rule: RErr must stay below clean Err + 3%%\n\n");
+
+  const std::pair<const char*, ProfiledChipConfig> chips[] = {
+      {"chip A (uniform-like)", ProfiledChipConfig::chip1(11)},
+      {"chip B (column-aligned, 0->1 biased)", ProfiledChipConfig::chip2(22)},
+      {"chip C (mildly column-aligned)", ProfiledChipConfig::chip3(33)},
+  };
+  const SramEnergyModel energy;
+
+  for (const auto& [label, cfg] : chips) {
+    const ProfiledChip chip(cfg);
+    std::printf("%s\n", label);
+    std::printf("  %-9s %-14s %-16s %s\n", "V/Vmin", "measured p(%)",
+                "RErr (%)", "verdict");
+    double best_saving = 0.0;
+    for (double v : {0.92, 0.88, 0.86, 0.84, 0.82}) {
+      const RobustResult r = robust_error_profiled(*model, scheme, test_set,
+                                                   chip, v, /*n_offsets=*/4);
+      const bool ok = 100.0 * r.mean_rerr < clean + 3.0;
+      if (ok) best_saving = 1.0 - energy.energy_per_access(v);
+      std::printf("  %-9.2f %-14.3f %6.2f +-%-7.2f %s\n", v,
+                  100.0 * chip.error_rate_at(v), 100.0 * r.mean_rerr,
+                  100.0 * r.std_rerr, ok ? "OK" : "too risky");
+      if (!ok) break;  // rates only grow below this voltage
+    }
+    std::printf("  -> qualified energy saving on this chip: %.1f%%\n\n",
+                100.0 * best_saving);
+  }
+  std::printf(
+      "No per-chip profiling went into TRAINING — the model generalizes "
+      "across chips and voltages, which is the paper's key deployment "
+      "property.\n");
+  return 0;
+}

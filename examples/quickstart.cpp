@@ -1,0 +1,62 @@
+// Quickstart: train a small CNN with quantization-aware training, deploy it
+// at 8-bit fixed point, inject low-voltage bit errors and measure robust
+// test error — the library's core loop in ~60 lines.
+//
+//   ./example_quickstart
+#include <cstdio>
+
+#include "ber.h"
+
+int main() {
+  using namespace ber;
+
+  // 1. Data: the CIFAR10-analog synthetic shape dataset (see DESIGN.md).
+  SyntheticConfig data_cfg = SyntheticConfig::cifar10();
+  data_cfg.n_train = 1500;  // quickstart-sized
+  data_cfg.n_test = 500;
+  const Dataset train_set = make_synthetic(data_cfg, /*train=*/true);
+  const Dataset test_set = make_synthetic(data_cfg, /*train=*/false);
+
+  // 2. Model: SimpleNet-style CNN with GroupNorm (the paper's robust norm).
+  ModelConfig model_cfg;
+  model_cfg.width = 8;
+  auto model = build_model(model_cfg);
+  std::printf("model: %ld weights\n", model->num_weights());
+
+  // 3. Train with the paper's full recipe: robust quantization (RQuant),
+  //    weight clipping and random bit error training (RandBET, Alg. 1).
+  TrainConfig train_cfg;
+  train_cfg.method = Method::kRandBET;
+  train_cfg.quant = QuantScheme::rquant(8);
+  train_cfg.wmax = 0.15f;
+  train_cfg.p_train = 0.01;  // train against 1% bit error rate
+  train_cfg.epochs = 30;
+  train_cfg.lr_warmup_epochs = 3;
+  const TrainStats stats = train(*model, train_set, test_set, train_cfg);
+  std::printf("trained %d epochs, clean Err %.2f%% (bit errors active from "
+              "epoch %d)\n",
+              train_cfg.epochs, 100.0 * stats.final_test_err,
+              stats.bit_error_start_epoch);
+
+  // 4. Evaluate robustness: RErr at increasing bit error rates, i.e. at
+  //    decreasing SRAM supply voltage.
+  const SramEnergyModel energy;
+  std::printf("\n%-8s %-10s %-18s %s\n", "p (%)", "V/Vmin", "RErr (%)",
+              "energy saving (%)");
+  for (double p : {0.001, 0.005, 0.01, 0.02}) {
+    BitErrorConfig bits;
+    bits.p = p;
+    const RobustResult r =
+        robust_error(*model, train_cfg.quant, test_set, bits, /*n_chips=*/5);
+    std::printf("%-8.2f %-10.3f %6.2f +-%-8.2f %.1f\n", 100 * p,
+                energy.voltage_for_rate(p), 100 * r.mean_rerr,
+                100 * r.std_rerr, 100 * energy.energy_saving_at_rate(p));
+  }
+
+  // 5. The Prop. 1 guarantee for this estimate.
+  std::printf("\nProp. 1: with n=%ld test examples and l=5 patterns, the "
+              "expected RErr lies within +-%.1f%% of the estimate w.p. 99%%.\n",
+              test_set.size(),
+              100.0 * prop1_epsilon(test_set.size(), 5, 0.01));
+  return 0;
+}

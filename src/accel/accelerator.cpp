@@ -1,0 +1,76 @@
+#include "accel/accelerator.h"
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace ber {
+
+namespace {
+
+// Recursively profiles `layer` on input x; appends profiles and returns the
+// layer output (eval mode).
+Tensor profile_layer(Layer& layer, const Tensor& x,
+                     std::vector<LayerProfile>& out) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    Tensor cur = x;
+    for (std::size_t i = 0; i < seq->size(); ++i) {
+      cur = profile_layer(seq->layer(i), cur, out);
+    }
+    return cur;
+  }
+  if (auto* res = dynamic_cast<Residual*>(&layer)) {
+    Tensor y = profile_layer(res->body(), x, out);
+    y.axpy(1.0f, x);
+    return y;
+  }
+
+  Tensor y = layer.forward(x, /*training=*/false);
+  LayerProfile p;
+  p.name = layer.name();
+  for (Param* prm : layer.params()) p.weights += prm->value.numel();
+  p.activations = y.numel() / (y.dim() > 0 ? y.shape(0) : 1);  // per example
+  if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+    // MACs = out_elems_per_image * in_ch * k * k.
+    const long per_image = y.numel() / y.shape(0);
+    p.macs = per_image * conv->in_channels() * conv->kernel() * conv->kernel();
+  } else if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+    p.macs = lin->in_features() * lin->out_features();
+  }
+  out.push_back(std::move(p));
+  return y;
+}
+
+}  // namespace
+
+std::vector<LayerProfile> profile_model(Sequential& model,
+                                        const std::vector<long>& input_shape) {
+  std::vector<LayerProfile> profiles;
+  Tensor x(input_shape);
+  profile_layer(model, x, profiles);
+  return profiles;
+}
+
+EnergyBreakdown inference_energy(const std::vector<LayerProfile>& profiles,
+                                 const AcceleratorConfig& config, double v) {
+  EnergyBreakdown b;
+  double macs = 0.0;
+  for (const LayerProfile& p : profiles) {
+    b.weight_accesses += config.weight_reads_per_inference * p.weights;
+    b.activation_accesses += config.activation_accesses * p.activations;
+    macs += p.macs;
+  }
+  const double per_access = config.sram.energy_per_access(v);
+  b.memory_energy = (b.weight_accesses + b.activation_accesses) * per_access;
+  b.compute_energy = macs * config.mac_energy_rel;
+  return b;
+}
+
+double inference_energy_saving(const std::vector<LayerProfile>& profiles,
+                               const AcceleratorConfig& config, double v) {
+  const double at_vmin = inference_energy(profiles, config, 1.0).total();
+  const double at_v = inference_energy(profiles, config, v).total();
+  return 1.0 - at_v / at_vmin;
+}
+
+}  // namespace ber

@@ -1,0 +1,62 @@
+// Accelerator energy model (App. A of the paper).
+//
+// The paper's energy argument: total dynamic SRAM energy of an accelerator
+// is (number of SRAM accesses) x (energy per access), and low-voltage
+// operation scales the second factor quadratically. This module counts
+// per-layer weight/activation traffic and MACs for any Sequential model and
+// combines them with the Fig. 1 voltage model into an inference-energy
+// estimate — with the compute (MAC) energy held at nominal voltage, since
+// only the memory macros are undervolted in the paper's setting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "nn/sequential.h"
+
+namespace ber {
+
+struct LayerProfile {
+  std::string name;
+  long weights = 0;      // parameters read per inference
+  long macs = 0;         // multiply-accumulates
+  long activations = 0;  // output activations written (and later read)
+};
+
+// Traces one inference of `model` on an input of the given shape and
+// returns per-layer traffic profiles (residual blocks are expanded).
+std::vector<LayerProfile> profile_model(Sequential& model,
+                                        const std::vector<long>& input_shape);
+
+struct AcceleratorConfig {
+  SramEnergyModel sram;
+  // Reads per weight per inference; optimized dataflows (Eyeriss-style
+  // reuse) approach 1.
+  double weight_reads_per_inference = 1.0;
+  // Each activation is written once and read once downstream.
+  double activation_accesses = 2.0;
+  // Energy of one MAC relative to one SRAM access at Vmin. SRAM accesses
+  // cost 10-100x a MAC in the accelerators the paper cites (Chen et al.,
+  // 2016), which is exactly why memory dominates and undervolting pays.
+  double mac_energy_rel = 0.05;
+};
+
+struct EnergyBreakdown {
+  double weight_accesses = 0;
+  double activation_accesses = 0;
+  double memory_energy = 0;   // voltage-dependent (normalized units)
+  double compute_energy = 0;  // voltage-independent
+  double total() const { return memory_energy + compute_energy; }
+};
+
+// Energy per inference at normalized memory voltage v (1.0 = Vmin).
+EnergyBreakdown inference_energy(const std::vector<LayerProfile>& profiles,
+                                 const AcceleratorConfig& config, double v);
+
+// Fractional total-energy saving of running the memory at voltage v instead
+// of Vmin.
+double inference_energy_saving(const std::vector<LayerProfile>& profiles,
+                               const AcceleratorConfig& config, double v);
+
+}  // namespace ber

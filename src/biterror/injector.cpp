@@ -1,0 +1,72 @@
+#include "biterror/injector.h"
+
+#include <stdexcept>
+
+#include "core/hash.h"
+
+namespace ber {
+
+double expected_bit_errors(double p, int bits, std::size_t weights) {
+  return p * bits * static_cast<double>(weights);
+}
+
+bool cell_faulty(std::uint64_t chip_seed, std::uint64_t weight_index,
+                 std::uint64_t bit, double p) {
+  return hash_uniform(chip_seed, weight_index, bit) < p;
+}
+
+FaultType fault_type_at(const BitErrorConfig& config, std::uint64_t chip_seed,
+                        std::uint64_t weight_index, std::uint64_t bit) {
+  const double u = hash_uniform2(chip_seed, weight_index, bit);
+  if (u < config.flip_fraction) return FaultType::kFlip;
+  if (u < config.flip_fraction + config.set1_fraction) return FaultType::kSet1;
+  return FaultType::kSet0;
+}
+
+std::uint16_t apply_fault(std::uint16_t code, int bit, FaultType type) {
+  const std::uint16_t mask = static_cast<std::uint16_t>(1u << bit);
+  switch (type) {
+    case FaultType::kFlip:
+      return code ^ mask;
+    case FaultType::kSet1:
+      return code | mask;
+    case FaultType::kSet0:
+      return static_cast<std::uint16_t>(code & ~mask);
+  }
+  return code;
+}
+
+std::size_t inject_random_bit_errors(NetSnapshot& snap,
+                                     const BitErrorConfig& config,
+                                     std::uint64_t chip_seed) {
+  if (config.p < 0.0 || config.p > 1.0) {
+    throw std::invalid_argument("BitErrorConfig: p must be in [0,1]");
+  }
+  std::size_t changed = 0;
+  for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
+    QuantizedTensor& qt = snap.tensors[t];
+    const int bits = qt.scheme.bits;
+    const std::uint64_t base = snap.offsets[t];
+    for (std::size_t i = 0; i < qt.codes.size(); ++i) {
+      const std::uint64_t widx = base + i;
+      std::uint16_t code = qt.codes[i];
+      const std::uint16_t before = code;
+      for (int j = 0; j < bits; ++j) {
+        if (!cell_faulty(chip_seed, widx, static_cast<std::uint64_t>(j),
+                         config.p)) {
+          continue;
+        }
+        code = apply_fault(code, j,
+                           fault_type_at(config, chip_seed, widx,
+                                         static_cast<std::uint64_t>(j)));
+      }
+      if (code != before) {
+        qt.codes[i] = code;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace ber

@@ -1,0 +1,63 @@
+// Random bit error model BErr_p (Sec. 3 of the paper).
+//
+// A "chip" is a 64-bit seed. Every (chip, weight index, bit index)
+// coordinate has a fixed uniform value u drawn from a stateless hash; the
+// bit is faulty at rate p iff u < p. Consequences, exactly as the paper's
+// error model demands:
+//   * for a fixed chip, the faulty bits at p' <= p are a subset of those at
+//     p (persistence across supply voltages);
+//   * across chips (seeds), fault patterns are independent;
+//   * the expected number of bit errors is p * m * W.
+//
+// Fault types: the base model flips the stored bit (0->1 and 1->0 equally
+// likely on random data). For profiled-chip-style evaluation a biased mix of
+// stuck-at-style faults is supported: a SET1 cell reads 1 regardless of the
+// stored bit (an error iff a 0 was stored), a SET0 cell reads 0.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/net_quantizer.h"
+
+namespace ber {
+
+enum class FaultType { kFlip, kSet1, kSet0 };
+
+struct BitErrorConfig {
+  double p = 0.01;  // per-bit fault probability (fraction, not %)
+  // Mix of fault types among faulty cells; must sum to 1. Defaults to the
+  // paper's uniform flip model.
+  double flip_fraction = 1.0;
+  double set1_fraction = 0.0;
+  double set0_fraction = 0.0;
+
+  // Chip-2-like bias from Fig. 8 (0-to-1 flips dominate): mostly SET1.
+  static BitErrorConfig biased_set1(double p) {
+    return {p, 0.1, 0.75, 0.15};
+  }
+};
+
+// Number of bit errors that BErr_p introduces in expectation: p * m * W
+// (Tab. 6 right column).
+double expected_bit_errors(double p, int bits, std::size_t weights);
+
+// Injects bit errors into all tensors of the snapshot. Only the low
+// `scheme.bits` of each code participate. Returns the number of code words
+// that changed.
+std::size_t inject_random_bit_errors(NetSnapshot& snap,
+                                     const BitErrorConfig& config,
+                                     std::uint64_t chip_seed);
+
+// Applies one cell's fault to bit j of a code word; returns the new code.
+std::uint16_t apply_fault(std::uint16_t code, int bit, FaultType type);
+
+// The fault type of a given (chip, weight, bit) cell under `config`,
+// independent of whether the cell is faulty.
+FaultType fault_type_at(const BitErrorConfig& config, std::uint64_t chip_seed,
+                        std::uint64_t weight_index, std::uint64_t bit);
+
+// True iff the cell is faulty at rate p for this chip (monotone in p).
+bool cell_faulty(std::uint64_t chip_seed, std::uint64_t weight_index,
+                 std::uint64_t bit, double p);
+
+}  // namespace ber

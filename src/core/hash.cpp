@@ -1,0 +1,26 @@
+#include "core/hash.h"
+
+#include "core/rng.h"
+
+namespace ber {
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  // Two dependent splitmix64 rounds give full avalanche across the three
+  // keys; constants differ per operand so (a,b,c) permutations differ.
+  std::uint64_t s = a ^ (b * 0xD1B54A32D192ED03ULL) ^ (c * 0x8CB92BA72F3D8DD7ULL);
+  std::uint64_t h = splitmix64(s);
+  s ^= h;
+  return splitmix64(s);
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t i, std::uint64_t j) {
+  return static_cast<double>(hash_mix(seed, i, j) >> 11) * 0x1.0p-53;
+}
+
+double hash_uniform2(std::uint64_t seed, std::uint64_t i, std::uint64_t j) {
+  // Domain-separate from hash_uniform by perturbing the seed lane.
+  return static_cast<double>(hash_mix(seed ^ 0xA5A5A5A5A5A5A5A5ULL, i, j) >> 11) *
+         0x1.0p-53;
+}
+
+}  // namespace ber

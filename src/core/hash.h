@@ -1,0 +1,26 @@
+// Stateless counter-based hashing to U[0,1).
+//
+// The random bit error model of the paper (Sec. 3) requires that, for a
+// fixed memory array ("chip"), the bit errors at rate p' <= p are a subset
+// of those at rate p. We get this for free by assigning every (chip, weight,
+// bit) coordinate a fixed uniform value u and flipping iff u < p: the flip
+// set grows monotonically with p. Instead of materializing W×m uniforms per
+// chip, we derive u on demand from a stateless hash of the coordinates.
+#pragma once
+
+#include <cstdint>
+
+namespace ber {
+
+// Mixes three 64-bit keys into one well-distributed 64-bit value.
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+// Uniform double in [0, 1) derived from (seed, i, j). Fixed forever; tests
+// pin distributional properties (mean, uniformity, independence proxies).
+double hash_uniform(std::uint64_t seed, std::uint64_t i, std::uint64_t j);
+
+// A second, decorrelated uniform stream over the same coordinates (used to
+// pick fault *types* independently of fault *occurrence*).
+double hash_uniform2(std::uint64_t seed, std::uint64_t i, std::uint64_t j);
+
+}  // namespace ber

@@ -1,0 +1,46 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace ber {
+
+int default_threads() {
+  if (const char* env = std::getenv("BER_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::int64_t n, int threads,
+                  const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  threads = static_cast<int>(
+      std::max<std::int64_t>(1, std::min<std::int64_t>(threads, n)));
+  if (threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::int64_t chunk = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const std::int64_t begin = t * chunk;
+    const std::int64_t end = std::min<std::int64_t>(begin + chunk, n);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] {
+      for (std::int64_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  parallel_for(n, default_threads(), fn);
+}
+
+}  // namespace ber

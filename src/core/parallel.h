@@ -1,0 +1,26 @@
+// Minimal fork-join parallelism.
+//
+// The library's hot loops (RErr evaluation across chips, zoo training of
+// independent models) are embarrassingly parallel at coarse granularity, so
+// plain thread spawns per call are cheap relative to the work. No global
+// pool, no nested-parallelism hazards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ber {
+
+// Number of worker threads to use (hardware concurrency, overridable via
+// BER_THREADS for tests).
+int default_threads();
+
+// Runs fn(i) for i in [0, n) on up to `threads` threads. Work is split into
+// contiguous chunks. fn must be safe to call concurrently for distinct i.
+void parallel_for(std::int64_t n, int threads,
+                  const std::function<void(std::int64_t)>& fn);
+
+// Convenience overload using default_threads().
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+}  // namespace ber

@@ -1,0 +1,36 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+namespace ber {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa → uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  // Bias is negligible for our ranges (≤ 2^31) vs 2^64 modulus.
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+float Rng::normal() {
+  // Box-Muller; guard u1 away from 0 to keep log() finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * M_PI * u2));
+}
+
+}  // namespace ber

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (weight init, data synthesis,
+// augmentation, SGD shuffling) draw from this stateful generator; bit error
+// *sampling* instead uses the stateless counter hash in core/hash.h so that
+// "chips" are pure seeds and the persistence property of Sec. 3 of the paper
+// holds exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace ber {
+
+// splitmix64 step: advances `state` and returns a 64-bit pseudo-random value.
+// Public because tests and the stateless hash build on it.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Small, fast, seedable RNG (splitmix64 stream). Deliberately not
+// std::mt19937: we want identical results across platforms/libstdc++
+// versions, and we rely on documented, frozen bit streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() { return splitmix64(state_); }
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi);
+  // Standard normal via Box-Muller (no caching; two draws per call).
+  float normal();
+  // Bernoulli with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ber

@@ -1,0 +1,87 @@
+// Tiny binary (de)serialization for model checkpoints and artifacts.
+//
+// Format: little-endian PODs, length-prefixed strings/vectors, and a magic +
+// version header written by users of the API. Intentionally simple — files
+// are produced and consumed by this library only.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ber {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary) {
+    if (!out_) throw std::runtime_error("BinaryWriter: cannot open " + path);
+  }
+
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write_pod<std::uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_pod<std::uint64_t>(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  bool good() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated file");
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = read_pod<std::uint64_t>();
+    std::string s(n, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated string");
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    const auto n = read_pod<std::uint64_t>();
+    std::vector<T> v(n);
+    in_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated vector");
+    return v;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace ber

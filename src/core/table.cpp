@@ -1,0 +1,69 @@
+#include "core/table.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace ber {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << (c == 0 ? "| " : " ") << cell
+         << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+void TablePrinter::print() const { std::cout << to_string() << std::flush; }
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_pm(double mean, double stddev, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, mean, precision,
+                stddev);
+  return buf;
+}
+
+}  // namespace ber

@@ -1,0 +1,32 @@
+// Fixed-width console table printer used by every bench binary to emit
+// paper-style rows ("Model | Err | RErr p=0.1 | ...").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ber {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells are
+  // blank-filled.
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  // Renders with per-column widths and writes to stdout.
+  void print() const;
+  std::string to_string() const;
+
+  // Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_pm(double mean, double stddev, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace ber

@@ -1,0 +1,60 @@
+#include "data/augment.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+
+namespace ber {
+
+void augment_batch(Tensor& batch, const AugmentConfig& config, Rng& rng) {
+  const long n = batch.shape(0), c = batch.shape(1), h = batch.shape(2),
+             w = batch.shape(3);
+  std::vector<float> plane(static_cast<std::size_t>(h * w));
+  for (long i = 0; i < n; ++i) {
+    // Random shift with edge clamping (per image, same shift all channels).
+    if (config.max_shift > 0) {
+      const long dy = rng.uniform_int(-config.max_shift, config.max_shift);
+      const long dx = rng.uniform_int(-config.max_shift, config.max_shift);
+      if (dy != 0 || dx != 0) {
+        for (long ch = 0; ch < c; ++ch) {
+          float* img = batch.data() + (i * c + ch) * h * w;
+          for (long y = 0; y < h; ++y) {
+            const long sy = std::clamp(y - dy, 0L, h - 1);
+            for (long x = 0; x < w; ++x) {
+              const long sx = std::clamp(x - dx, 0L, w - 1);
+              plane[static_cast<std::size_t>(y * w + x)] = img[sy * w + sx];
+            }
+          }
+          std::copy(plane.begin(), plane.end(), img);
+        }
+      }
+    }
+    // Cutout.
+    if (config.cutout > 0) {
+      const long cy = rng.uniform_int(0, static_cast<int>(h) - 1);
+      const long cx = rng.uniform_int(0, static_cast<int>(w) - 1);
+      const long half = config.cutout / 2;
+      for (long ch = 0; ch < c; ++ch) {
+        float* img = batch.data() + (i * c + ch) * h * w;
+        for (long y = std::max(0L, cy - half);
+             y <= std::min(h - 1, cy + half); ++y) {
+          for (long x = std::max(0L, cx - half);
+               x <= std::min(w - 1, cx + half); ++x) {
+            img[y * w + x] = config.cutout_fill;
+          }
+        }
+      }
+    }
+    // Pixel noise.
+    if (config.noise_std > 0.0f) {
+      float* img = batch.data() + i * c * h * w;
+      const long count = c * h * w;
+      for (long e = 0; e < count; ++e) {
+        img[e] = std::clamp(img[e] + rng.normal() * config.noise_std, 0.0f,
+                            1.0f);
+      }
+    }
+  }
+}
+
+}  // namespace ber

@@ -1,0 +1,24 @@
+// Train-time data augmentation.
+//
+// Stand-in for the paper's AutoAugment + Cutout pipeline: random shift
+// (pad-crop), cutout patches and light pixel noise — enough regularization
+// for the small synthetic tasks without an augmentation-policy search.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ber {
+
+class Rng;
+
+struct AugmentConfig {
+  int max_shift = 2;        // random translation in pixels (0 disables)
+  int cutout = 3;           // square cutout side (0 disables)
+  float cutout_fill = 0.5f; // fill value for cutout windows
+  float noise_std = 0.02f;  // additive Gaussian pixel noise (0 disables)
+};
+
+// Augments a batch [N, C, H, W] in place.
+void augment_batch(Tensor& batch, const AugmentConfig& config, Rng& rng);
+
+}  // namespace ber

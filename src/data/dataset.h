@@ -1,0 +1,28 @@
+// In-memory labeled image dataset (NCHW, float pixels in [0, 1]).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ber {
+
+struct Dataset {
+  Tensor images;            // [N, C, H, W]
+  std::vector<int> labels;  // N entries in [0, num_classes)
+  int num_classes = 0;
+
+  long size() const { return images.dim() > 0 ? images.shape(0) : 0; }
+  long channels() const { return images.shape(1); }
+  long height() const { return images.shape(2); }
+  long width() const { return images.shape(3); }
+
+  // Copies examples [begin, end) into a batch tensor + labels.
+  void batch(long begin, long end, Tensor& out_images,
+             std::vector<int>& out_labels) const;
+
+  // First `n` examples as a new dataset (cheap evaluation subsets).
+  Dataset head(long n) const;
+};
+
+}  // namespace ber

@@ -1,0 +1,131 @@
+#include "ecc/secded.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ber {
+
+namespace {
+
+// Extended Hamming code layout: 7 syndrome bits cover positions 1..127 of
+// which we use positions for 64 data bits; the 8th check bit is overall
+// parity (distinguishes single from double errors).
+//
+// We place data bit i at codeword position pos_of_data(i): positions that
+// are powers of two hold the 7 Hamming check bits.
+int pos_of_data(int i) {
+  // Skip positions 1, 2, 4, 8, 16, 32, 64 (1-based power-of-two slots).
+  int pos = 1;
+  int seen = -1;
+  while (true) {
+    ++pos;
+    if ((pos & (pos - 1)) == 0) continue;  // power of two -> check slot
+    ++seen;
+    if (seen == i) return pos;
+  }
+}
+
+// Precomputed positions for the 64 data bits (1-based, in [3, 127]).
+const int* data_positions() {
+  static int table[64];
+  static bool init = [] {
+    for (int i = 0; i < 64; ++i) table[i] = pos_of_data(i);
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+// Hamming syndrome (7 bits) of the data+check configuration.
+int syndrome_of(std::uint64_t data, std::uint8_t check) {
+  int syn = 0;
+  const int* pos = data_positions();
+  for (int i = 0; i < 64; ++i) {
+    if ((data >> i) & 1ULL) syn ^= pos[i];
+  }
+  // Check bits 0..6 sit at positions 1, 2, 4, ..., 64.
+  for (int c = 0; c < 7; ++c) {
+    if ((check >> c) & 1) syn ^= (1 << c);
+  }
+  return syn;
+}
+
+int parity64(std::uint64_t v) { return __builtin_parityll(v); }
+
+// Overall parity over data + all 8 check bits.
+int overall_parity(std::uint64_t data, std::uint8_t check) {
+  return parity64(data) ^ __builtin_parity(check);
+}
+
+}  // namespace
+
+SecdedWord secded_encode(std::uint64_t data) {
+  SecdedWord w;
+  w.data = data;
+  // Choose check bits 0..6 so the syndrome is zero.
+  int syn = 0;
+  const int* pos = data_positions();
+  for (int i = 0; i < 64; ++i) {
+    if ((data >> i) & 1ULL) syn ^= pos[i];
+  }
+  std::uint8_t check = 0;
+  for (int c = 0; c < 7; ++c) {
+    if ((syn >> c) & 1) check |= static_cast<std::uint8_t>(1 << c);
+  }
+  // Overall parity bit (check bit 7) makes total parity even.
+  if (overall_parity(data, check) != 0) check |= 0x80;
+  w.check = check;
+  return w;
+}
+
+SecdedResult secded_decode(const SecdedWord& word) {
+  SecdedResult r;
+  r.data = word.data;
+  const int syn = syndrome_of(word.data, word.check & 0x7F);
+  const int par = overall_parity(word.data, word.check);
+
+  if (syn == 0 && par == 0) {
+    r.status = SecdedStatus::kClean;
+    return r;
+  }
+  if (par == 1) {
+    // Odd number of errors -> treat as single and correct via syndrome.
+    r.status = SecdedStatus::kCorrectedSingle;
+    if (syn == 0) return r;  // the overall parity bit itself flipped
+    if ((syn & (syn - 1)) == 0) return r;  // a Hamming check bit flipped
+    const int* pos = data_positions();
+    for (int i = 0; i < 64; ++i) {
+      if (pos[i] == syn) {
+        r.data ^= (1ULL << i);
+        return r;
+      }
+    }
+    // Syndrome points at an unused position: must be multiple errors.
+    r.status = SecdedStatus::kUndetectedOrMis;
+    return r;
+  }
+  // Even parity with non-zero syndrome: double error detected.
+  r.status = SecdedStatus::kDetectedDouble;
+  return r;
+}
+
+void secded_flip(SecdedWord& word, int bit) {
+  if (bit < 0 || bit >= 72) throw std::invalid_argument("secded_flip: bit");
+  if (bit < 64) {
+    word.data ^= (1ULL << bit);
+  } else {
+    word.check ^= static_cast<std::uint8_t>(1u << (bit - 64));
+  }
+}
+
+double secded_uncorrectable_probability(double p, int word_bits) {
+  if (p < 0.0 || p > 1.0 || word_bits <= 1) {
+    throw std::invalid_argument("secded_uncorrectable_probability");
+  }
+  const double n = static_cast<double>(word_bits);
+  const double p0 = std::pow(1.0 - p, n);
+  const double p1 = n * p * std::pow(1.0 - p, n - 1.0);
+  return 1.0 - p0 - p1;
+}
+
+}  // namespace ber

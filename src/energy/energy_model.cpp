@@ -1,0 +1,28 @@
+#include "energy/energy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ber {
+
+double SramEnergyModel::bit_error_rate(double v) const {
+  if (v >= 1.0) return p0;
+  const double p = p0 * std::pow(10.0, slope * (1.0 - v));
+  return std::min(p, 0.5);
+}
+
+double SramEnergyModel::voltage_for_rate(double p) const {
+  if (p <= p0) return 1.0;
+  return 1.0 - std::log10(p / p0) / slope;
+}
+
+double SramEnergyModel::energy_per_access(double v) const {
+  return dynamic_fraction * v * v + (1.0 - dynamic_fraction);
+}
+
+double SramEnergyModel::energy_saving_at_rate(double p) const {
+  const double v = voltage_for_rate(p);
+  return 1.0 - energy_per_access(v);
+}
+
+}  // namespace ber

@@ -1,0 +1,41 @@
+// SRAM low-voltage energy / bit-error-rate model (Fig. 1 of the paper).
+//
+// The paper characterizes 32 SRAM arrays of a 14nm accelerator
+// (Chandramoorthy et al., 2019): scaling supply voltage below Vmin (the
+// lowest voltage with zero bit cell failures) reduces access energy roughly
+// quadratically while the bit error rate grows exponentially. We fit an
+// analytic model to the published anchor points:
+//   * p(Vmin)       ~ 1e-4 %   (just below error-free operation)
+//   * p(0.75 Vmin)  ~ 20 %
+//   * energy(v) = 0.85 v^2 + 0.15 (dynamic CV^2f + leakage floor),
+//     normalized to 1 at Vmin
+// which reproduces the paper's headline trade-offs: ~30% energy saving at
+// p = 1% and ~20% at p ~ 0.1%.
+//
+// All voltages are normalized by Vmin; rates are fractions in [0, 1].
+#pragma once
+
+namespace ber {
+
+struct SramEnergyModel {
+  // p(v) = p0 * 10^(slope * (1 - v)), clamped to [0, 0.5].
+  double p0 = 1e-6;
+  double slope = 21.2;
+  // E(v) = dynamic_fraction * v^2 + (1 - dynamic_fraction).
+  double dynamic_fraction = 0.85;
+
+  // Bit error rate at normalized voltage v (= V / Vmin).
+  double bit_error_rate(double v) const;
+
+  // Inverse of bit_error_rate: the normalized voltage at which the array
+  // exhibits rate p. p <= p0 returns 1.0 (at or above Vmin).
+  double voltage_for_rate(double p) const;
+
+  // Energy per SRAM access at voltage v, normalized to 1 at Vmin.
+  double energy_per_access(double v) const;
+
+  // Fractional energy saving vs Vmin operation when tolerating rate p.
+  double energy_saving_at_rate(double p) const;
+};
+
+}  // namespace ber

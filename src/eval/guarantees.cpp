@@ -1,0 +1,29 @@
+#include "eval/guarantees.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ber {
+
+double prop1_epsilon(long n, long l, double delta) {
+  if (n <= 0 || l <= 0 || delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("prop1_epsilon: invalid arguments");
+  }
+  const double nn = static_cast<double>(n);
+  const double ll = static_cast<double>(l);
+  return std::sqrt(std::log((nn + 1.0) / delta) / nn) *
+         (std::sqrt(ll) + std::sqrt(nn)) / std::sqrt(ll);
+}
+
+double prop1_tail_probability(long n, long l, double eps) {
+  if (n <= 0 || l <= 0 || eps <= 0.0) {
+    throw std::invalid_argument("prop1_tail_probability: invalid arguments");
+  }
+  const double nn = static_cast<double>(n);
+  const double ll = static_cast<double>(l);
+  const double denom = (std::sqrt(ll) + std::sqrt(nn)) *
+                       (std::sqrt(ll) + std::sqrt(nn));
+  return (nn + 1.0) * std::exp(-nn * eps * eps * ll / denom);
+}
+
+}  // namespace ber

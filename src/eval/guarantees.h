@@ -1,0 +1,19 @@
+// Probabilistic guarantee of App. C.2 (Proposition 1).
+//
+// With n i.i.d. test examples and l i.i.d. bit-error patterns, the empirical
+// robust error deviates from the expected robust error by at most
+//   eps(n, l, delta) = sqrt(log((n+1)/delta) / n) * (sqrt(l)+sqrt(n))/sqrt(l)
+// with probability at least 1 - delta. The paper instantiates n = 1e4,
+// l = 1e6, delta = 0.01 -> eps ~= 4.1%.
+#pragma once
+
+namespace ber {
+
+// The deviation bound eps(n, l, delta) above.
+double prop1_epsilon(long n, long l, double delta);
+
+// The tail probability of Prop. 1 for a given eps:
+// (n+1) * exp(-n eps^2 l / (sqrt(l)+sqrt(n))^2).
+double prop1_tail_probability(long n, long l, double eps);
+
+}  // namespace ber

@@ -1,0 +1,178 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hash.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "quant/net_quantizer.h"
+#include "tensor/ops.h"
+
+namespace ber {
+
+EvalResult evaluate(Sequential& model, const Dataset& data, long batch) {
+  const long n = data.size();
+  long wrong = 0;
+  double conf_sum = 0.0;
+  Tensor images;
+  std::vector<int> labels;
+  for (long start = 0; start < n; start += batch) {
+    const long end = std::min(start + batch, n);
+    data.batch(start, end, images, labels);
+    Tensor logits = model.forward(images, /*training=*/false);
+    softmax_rows(logits);
+    for (long i = 0; i < end - start; ++i) {
+      const long pred = argmax_row(logits, i);
+      if (pred != labels[static_cast<std::size_t>(i)]) ++wrong;
+      conf_sum += logits.at(i, pred);
+    }
+  }
+  EvalResult r;
+  r.error = static_cast<float>(wrong) / static_cast<float>(n);
+  r.confidence = static_cast<float>(conf_sum / n);
+  return r;
+}
+
+float test_error(Sequential& model, const Dataset& data,
+                 const QuantScheme* scheme, long batch) {
+  if (scheme == nullptr) return evaluate(model, data, batch).error;
+  const auto params = model.params();
+  WeightStash stash;
+  stash.save(params);
+  NetQuantizer quantizer(*scheme);
+  const NetSnapshot snap = quantizer.quantize(params);
+  quantizer.write_dequantized(snap, params);
+  const float err = evaluate(model, data, batch).error;
+  stash.restore(params);
+  return err;
+}
+
+namespace {
+
+RobustResult summarize(std::vector<float> errs, std::vector<float> confs) {
+  RobustResult r;
+  r.per_chip = std::move(errs);
+  double sum = 0.0, sq = 0.0, csum = 0.0;
+  for (float e : r.per_chip) {
+    sum += e;
+    sq += static_cast<double>(e) * e;
+  }
+  for (float c : confs) csum += c;
+  const double n = static_cast<double>(r.per_chip.size());
+  r.mean_rerr = static_cast<float>(sum / n);
+  const double var = std::max(0.0, sq / n - (sum / n) * (sum / n));
+  r.std_rerr = static_cast<float>(std::sqrt(var * n / std::max(1.0, n - 1)));
+  r.mean_confidence = static_cast<float>(csum / n);
+  return r;
+}
+
+}  // namespace
+
+RobustResult robust_error(Sequential& model, const QuantScheme& scheme,
+                          const Dataset& data, const BitErrorConfig& config,
+                          int n_chips, std::uint64_t seed_base, long batch) {
+  NetQuantizer quantizer(scheme);
+  const NetSnapshot base_snap = quantizer.quantize(model.params());
+
+  std::vector<float> errs(static_cast<std::size_t>(n_chips));
+  std::vector<float> confs(static_cast<std::size_t>(n_chips));
+  parallel_for(n_chips, [&](std::int64_t c) {
+    Sequential clone(model);
+    NetSnapshot snap = base_snap;
+    inject_random_bit_errors(snap, config,
+                             seed_base + static_cast<std::uint64_t>(c));
+    quantizer.write_dequantized(snap, clone.params());
+    const EvalResult r = evaluate(clone, data, batch);
+    errs[static_cast<std::size_t>(c)] = r.error;
+    confs[static_cast<std::size_t>(c)] = r.confidence;
+  });
+  return summarize(std::move(errs), std::move(confs));
+}
+
+RobustResult robust_error_profiled(Sequential& model,
+                                   const QuantScheme& scheme,
+                                   const Dataset& data,
+                                   const ProfiledChip& chip, double v,
+                                   int n_offsets, long batch) {
+  NetQuantizer quantizer(scheme);
+  const NetSnapshot base_snap = quantizer.quantize(model.params());
+
+  std::vector<float> errs(static_cast<std::size_t>(n_offsets));
+  std::vector<float> confs(static_cast<std::size_t>(n_offsets));
+  parallel_for(n_offsets, [&](std::int64_t i) {
+    Sequential clone(model);
+    NetSnapshot snap = base_snap;
+    // Spread offsets over the array with a large odd stride so different
+    // mappings overlap as little as possible.
+    const std::uint64_t offset =
+        (static_cast<std::uint64_t>(i) * 7919ULL * 64ULL) %
+        static_cast<std::uint64_t>(chip.num_cells());
+    chip.apply(snap, v, offset);
+    quantizer.write_dequantized(snap, clone.params());
+    const EvalResult r = evaluate(clone, data, batch);
+    errs[static_cast<std::size_t>(i)] = r.error;
+    confs[static_cast<std::size_t>(i)] = r.confidence;
+  });
+  return summarize(std::move(errs), std::move(confs));
+}
+
+RobustResult linf_weight_noise_error(Sequential& model, const Dataset& data,
+                                     double rel_eps, int n_samples,
+                                     std::uint64_t seed_base, long batch) {
+  std::vector<float> errs(static_cast<std::size_t>(n_samples));
+  std::vector<float> confs(static_cast<std::size_t>(n_samples));
+  parallel_for(n_samples, [&](std::int64_t s) {
+    Sequential clone(model);
+    Rng rng(hash_mix(seed_base, static_cast<std::uint64_t>(s), 0x11FFULL));
+    for (Param* p : clone.params()) {
+      const float range = p->value.abs_max();
+      const float eps = static_cast<float>(rel_eps) * range;
+      for (long i = 0; i < p->value.numel(); ++i) {
+        p->value[i] += static_cast<float>(rng.uniform(-eps, eps));
+      }
+    }
+    const EvalResult r = evaluate(clone, data, batch);
+    errs[static_cast<std::size_t>(s)] = r.error;
+    confs[static_cast<std::size_t>(s)] = r.confidence;
+  });
+  return summarize(std::move(errs), std::move(confs));
+}
+
+LogitStats logit_stats(Sequential& model, const Dataset& data, long batch) {
+  const long n = data.size();
+  double max_sum = 0.0, gap_sum = 0.0, conf_sum = 0.0;
+  Tensor images;
+  std::vector<int> labels;
+  for (long start = 0; start < n; start += batch) {
+    const long end = std::min(start + batch, n);
+    data.batch(start, end, images, labels);
+    Tensor logits = model.forward(images, /*training=*/false);
+    const long k = logits.shape(1);
+    for (long i = 0; i < end - start; ++i) {
+      const float* row = logits.data() + i * k;
+      float best = row[0], second = -1e30f;
+      for (long c = 1; c < k; ++c) {
+        if (row[c] > best) {
+          second = best;
+          best = row[c];
+        } else if (row[c] > second) {
+          second = row[c];
+        }
+      }
+      max_sum += best;
+      gap_sum += best - second;
+    }
+    softmax_rows(logits);
+    for (long i = 0; i < end - start; ++i) {
+      conf_sum += logits.at(i, argmax_row(logits, i));
+    }
+  }
+  LogitStats s;
+  s.mean_max_logit = static_cast<float>(max_sum / n);
+  s.mean_logit_gap = static_cast<float>(gap_sum / n);
+  s.mean_confidence = static_cast<float>(conf_sum / n);
+  return s;
+}
+
+}  // namespace ber

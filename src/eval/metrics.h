@@ -1,0 +1,70 @@
+// Evaluation metrics: clean test error (Err), robust test error under random
+// bit errors (RErr, mean ± std over chips), profiled-chip RErr, L-inf weight
+// noise robustness and logit/confidence statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "biterror/injector.h"
+#include "biterror/profiled_chip.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+
+struct EvalResult {
+  float error = 0.0f;       // fraction misclassified
+  float confidence = 0.0f;  // mean max softmax probability
+};
+
+// Forward-only evaluation (eval mode).
+EvalResult evaluate(Sequential& model, const Dataset& data, long batch = 200);
+
+// Clean test error; if `scheme` is non-null the parameters are
+// quantize-dequantized for the evaluation and restored afterwards.
+float test_error(Sequential& model, const Dataset& data,
+                 const QuantScheme* scheme = nullptr, long batch = 200);
+
+struct RobustResult {
+  float mean_rerr = 0.0f;
+  float std_rerr = 0.0f;
+  float mean_confidence = 0.0f;
+  std::vector<float> per_chip;
+};
+
+// RErr under the random bit error model: quantizes the model once, then for
+// each of `n_chips` seeds injects errors at rate `config.p` and evaluates.
+// Chips run in parallel on model clones; the input model is unchanged.
+RobustResult robust_error(Sequential& model, const QuantScheme& scheme,
+                          const Dataset& data, const BitErrorConfig& config,
+                          int n_chips, std::uint64_t seed_base = 1000,
+                          long batch = 200);
+
+// RErr against a profiled chip at normalized voltage `v`; averages over
+// `n_offsets` linear weight-to-memory mappings (Tab. 5 protocol).
+RobustResult robust_error_profiled(Sequential& model,
+                                   const QuantScheme& scheme,
+                                   const Dataset& data,
+                                   const ProfiledChip& chip, double v,
+                                   int n_offsets, long batch = 200);
+
+// RErr under i.i.d. uniform L-inf weight noise of magnitude
+// rel_eps * per-tensor weight range (Fig. 9). No quantization involved.
+RobustResult linf_weight_noise_error(Sequential& model, const Dataset& data,
+                                     double rel_eps, int n_samples,
+                                     std::uint64_t seed_base = 2000,
+                                     long batch = 200);
+
+struct LogitStats {
+  float mean_max_logit = 0.0f;
+  float mean_logit_gap = 0.0f;  // max minus runner-up
+  float mean_confidence = 0.0f;
+};
+
+// Logit/confidence statistics on a dataset (Fig. 6).
+LogitStats logit_stats(Sequential& model, const Dataset& data,
+                       long batch = 200);
+
+}  // namespace ber

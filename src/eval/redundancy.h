@@ -1,0 +1,33 @@
+// Redundancy metrics of Fig. 10: how weight clipping changes what the
+// network uses.
+//
+//   * weight relevance: sum_i |w_i| / (max_i |w_i| * W) — how many weights
+//     are "large" relative to the maximum (clipping raises this);
+//   * ReLU relevance: fraction of non-zero activations after the final ReLU
+//     on a probe batch;
+//   * relative absolute weight error under BErr_p: mean_i |w~_i - w_i|
+//     normalized by the per-tensor weight range (clipping lowers this);
+//   * fraction of (near-)zero weights (log-scale spike in Fig. 10 left).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+
+struct RedundancyStats {
+  double weight_relevance = 0.0;
+  double relu_relevance = 0.0;
+  double rel_abs_error = 0.0;
+  double frac_zero = 0.0;  // |w| < 1e-3 * max|w|
+  double max_abs_weight = 0.0;
+};
+
+RedundancyStats redundancy_stats(Sequential& model, const QuantScheme& scheme,
+                                 const Dataset& probe, double p,
+                                 std::uint64_t chip_seed = 9000);
+
+}  // namespace ber

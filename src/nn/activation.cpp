@@ -1,0 +1,45 @@
+#include "nn/activation.h"
+
+namespace ber {
+
+Tensor ReLU::forward(const Tensor& x, bool training) {
+  Tensor out = x;
+  long active = 0;
+  const long n = out.numel();
+  float* d = out.data();
+  for (long i = 0; i < n; ++i) {
+    if (d[i] > 0.0f) {
+      ++active;
+    } else {
+      d[i] = 0.0f;
+    }
+  }
+  last_active_fraction_ = n > 0 ? static_cast<double>(active) / n : 0.0;
+  if (training) {
+    mask_ = Tensor::zeros(x.shape());
+    const float* xd = x.data();
+    float* md = mask_.data();
+    for (long i = 0; i < n; ++i) md[i] = xd[i] > 0.0f ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  const float* m = mask_.data();
+  float* g = grad_in.data();
+  const long n = grad_in.numel();
+  for (long i = 0; i < n; ++i) g[i] *= m[i];
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool training) {
+  if (training) in_shape_ = x.shape();
+  return x.reshaped({x.shape(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace ber

@@ -1,0 +1,108 @@
+#include "nn/conv2d.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace ber {
+
+Conv2d::Conv2d(long in_channels, long out_channels, long kernel, long stride,
+               long pad, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  weight_.name = "conv.weight";
+  weight_.kind = ParamKind::kWeight;
+  weight_.value = Tensor::zeros({out_channels, in_channels, kernel, kernel});
+  weight_.grad = Tensor::zeros(weight_.value.shape());
+  if (has_bias_) {
+    bias_.name = "conv.bias";
+    bias_.kind = ParamKind::kBias;
+    bias_.value = Tensor::zeros({out_channels});
+    bias_.grad = Tensor::zeros({out_channels});
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  if (x.dim() != 4 || x.shape(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
+  }
+  const long n = x.shape(0), h = x.shape(2), w = x.shape(3);
+  const long oh = conv_out_size(h, kernel_, stride_, pad_);
+  const long ow = conv_out_size(w, kernel_, stride_, pad_);
+  const long k = in_channels_ * kernel_ * kernel_;
+  const long spatial = oh * ow;
+
+  Tensor cols({n, k, spatial});
+  Tensor out({n, out_channels_, oh, ow});
+  for (long i = 0; i < n; ++i) {
+    float* col = cols.data() + i * k * spatial;
+    im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
+           kernel_, stride_, pad_, col);
+    // out_i [out, spatial] = W [out, k] x col [k, spatial]
+    gemm(out_channels_, spatial, k, 1.0f, weight_.value.data(), col, 0.0f,
+         out.data() + i * out_channels_ * spatial);
+    if (has_bias_) {
+      for (long c = 0; c < out_channels_; ++c) {
+        float* plane = out.data() + (i * out_channels_ + c) * spatial;
+        const float b = bias_.value[c];
+        for (long s = 0; s < spatial; ++s) plane[s] += b;
+      }
+    }
+  }
+  if (training) {
+    input_ = x;
+    cols_ = std::move(cols);
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const long n = input_.shape(0), h = input_.shape(2), w = input_.shape(3);
+  const long oh = grad_out.shape(2), ow = grad_out.shape(3);
+  const long k = in_channels_ * kernel_ * kernel_;
+  const long spatial = oh * ow;
+
+  Tensor grad_in(input_.shape());
+  Tensor grad_col({k, spatial});
+  for (long i = 0; i < n; ++i) {
+    const float* go = grad_out.data() + i * out_channels_ * spatial;
+    const float* col = cols_.data() + i * k * spatial;
+    // dW [out, k] += gO [out, spatial] x col^T [spatial, k]
+    gemm_bt(out_channels_, k, spatial, 1.0f, go, col, 1.0f,
+            weight_.grad.data());
+    if (has_bias_) {
+      for (long c = 0; c < out_channels_; ++c) {
+        const float* plane = go + c * spatial;
+        float acc = 0.0f;
+        for (long s = 0; s < spatial; ++s) acc += plane[s];
+        bias_.grad[c] += acc;
+      }
+    }
+    // dcol [k, spatial] = W^T [k, out] x gO [out, spatial]
+    gemm_at(k, spatial, out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
+            grad_col.data());
+    col2im(grad_col.data(), in_channels_, h, w, kernel_, kernel_, stride_,
+           pad_, grad_in.data() + i * in_channels_ * h * w);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream os;
+  os << "Conv2d(" << in_channels_ << "->" << out_channels_ << ",k" << kernel_
+     << ",s" << stride_ << ",p" << pad_ << ")";
+  return os.str();
+}
+
+}  // namespace ber

@@ -1,0 +1,36 @@
+// 2-D convolution via im2col + GEMM, with full backward.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ber {
+
+class Conv2d : public Layer {
+ public:
+  // Square kernels only (all paper architectures use 3x3); zero padding.
+  Conv2d(long in_channels, long out_channels, long kernel, long stride = 1,
+         long pad = 1, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
+
+  long in_channels() const { return in_channels_; }
+  long out_channels() const { return out_channels_; }
+  long kernel() const { return kernel_; }
+
+ private:
+  long in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Param weight_;  // [out, in, k, k]
+  Param bias_;    // [out]
+  // Cached for backward.
+  Tensor input_;
+  Tensor cols_;  // [N, in*k*k, OH*OW]
+};
+
+}  // namespace ber

@@ -1,0 +1,29 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace ber {
+
+void he_init(Sequential& model, Rng& rng) {
+  for (Param* p : model.params()) {
+    switch (p->kind) {
+      case ParamKind::kWeight: {
+        const long fan_in = p->value.numel() / p->value.shape(0);
+        const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+        for (long i = 0; i < p->value.numel(); ++i) {
+          p->value[i] = rng.normal() * stddev;
+        }
+        break;
+      }
+      case ParamKind::kBias:
+      case ParamKind::kNormScale:
+      case ParamKind::kNormBias:
+        p->value.zero();
+        break;
+    }
+  }
+}
+
+}  // namespace ber

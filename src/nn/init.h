@@ -1,0 +1,15 @@
+// Weight initialization (He et al., 2015 — the paper's initializer).
+#pragma once
+
+#include "nn/sequential.h"
+
+namespace ber {
+
+class Rng;
+
+// He-normal on conv/linear weights (std = sqrt(2/fan_in)); biases and
+// normalization parameters start at zero (GN/BN scales are alpha' = 0, i.e.
+// effective gamma = 1 under the App. E reparameterization).
+void he_init(Sequential& model, Rng& rng);
+
+}  // namespace ber

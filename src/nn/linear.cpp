@@ -1,0 +1,73 @@
+#include "nn/linear.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace ber {
+
+Linear::Linear(long in_features, long out_features, bool bias)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias) {
+  weight_.name = "linear.weight";
+  weight_.kind = ParamKind::kWeight;
+  weight_.value = Tensor::zeros({out_features, in_features});
+  weight_.grad = Tensor::zeros(weight_.value.shape());
+  if (has_bias_) {
+    bias_.name = "linear.bias";
+    bias_.kind = ParamKind::kBias;
+    bias_.value = Tensor::zeros({out_features});
+    bias_.grad = Tensor::zeros({out_features});
+  }
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+  if (x.dim() != 2 || x.shape(1) != in_features_) {
+    throw std::invalid_argument("Linear: bad input " + x.shape_str());
+  }
+  const long n = x.shape(0);
+  Tensor out({n, out_features_});
+  // out [n, out] = x [n, in] x W^T [in, out]; W stored [out, in].
+  gemm_bt(n, out_features_, in_features_, 1.0f, x.data(),
+          weight_.value.data(), 0.0f, out.data());
+  if (has_bias_) {
+    for (long i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_features_;
+      for (long j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  if (training) input_ = x;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const long n = input_.shape(0);
+  // dW [out, in] += gO^T [out, n] x X [n, in]
+  gemm_at(out_features_, in_features_, n, 1.0f, grad_out.data(),
+          input_.data(), 1.0f, weight_.grad.data());
+  if (has_bias_) {
+    for (long i = 0; i < n; ++i) {
+      const float* row = grad_out.data() + i * out_features_;
+      for (long j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+    }
+  }
+  // dX [n, in] = gO [n, out] x W [out, in]
+  Tensor grad_in({n, in_features_});
+  gemm(n, in_features_, out_features_, 1.0f, grad_out.data(),
+       weight_.value.data(), 0.0f, grad_in.data());
+  return grad_in;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "Linear(" << in_features_ << "->" << out_features_ << ")";
+  return os.str();
+}
+
+}  // namespace ber

@@ -1,0 +1,31 @@
+// Fully-connected layer.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ber {
+
+class Linear : public Layer {
+ public:
+  Linear(long in_features, long out_features, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Linear>(*this);
+  }
+
+  long in_features() const { return in_features_; }
+  long out_features() const { return out_features_; }
+
+ private:
+  long in_features_, out_features_;
+  bool has_bias_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace ber

@@ -1,0 +1,54 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace ber {
+
+LossStats softmax_cross_entropy(const Tensor& logits,
+                                std::span<const int> labels,
+                                float label_smoothing) {
+  if (logits.dim() != 2) throw std::invalid_argument("loss: logits not 2-D");
+  const long n = logits.shape(0);
+  const long k = logits.shape(1);
+  if (static_cast<long>(labels.size()) != n) {
+    throw std::invalid_argument("loss: label count mismatch");
+  }
+
+  Tensor probs = logits;
+  softmax_rows(probs);
+
+  LossStats stats;
+  stats.grad_logits = Tensor::zeros({n, k});
+  const float off_target = k > 1 ? label_smoothing / static_cast<float>(k - 1) : 0.0f;
+  const float on_target = 1.0f - label_smoothing;
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (long i = 0; i < n; ++i) {
+    const float* p = probs.data() + i * k;
+    float* g = stats.grad_logits.data() + i * k;
+    const int y = labels[static_cast<std::size_t>(i)];
+    float pmax = 0.0f;
+    long amax = 0;
+    for (long c = 0; c < k; ++c) {
+      const float target = (c == y) ? on_target : off_target;
+      const float pc = std::max(p[c], 1e-12f);
+      if (target > 0.0f) loss -= target * std::log(pc);
+      g[c] = (p[c] - target) * inv_n;
+      if (p[c] > pmax) {
+        pmax = p[c];
+        amax = c;
+      }
+    }
+    if (amax == y) ++stats.correct;
+    stats.confidence += pmax;
+  }
+  stats.loss = static_cast<float>(loss / n);
+  stats.confidence /= n;
+  return stats;
+}
+
+}  // namespace ber

@@ -1,0 +1,28 @@
+// Softmax cross-entropy with optional label smoothing.
+//
+// Label smoothing is the Tab. 2 control experiment: it caps the confidence
+// the network is asked to produce, which removes most of weight clipping's
+// robustness benefit (the paper's logit-margin mechanism).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace ber {
+
+struct LossStats {
+  float loss = 0.0f;        // mean cross-entropy over the batch
+  long correct = 0;         // argmax == label count
+  double confidence = 0.0;  // mean max softmax probability
+  Tensor grad_logits;       // d(mean loss)/d(logits), shape [N, K]
+};
+
+// logits: [N, K]; labels: N entries in [0, K). With label_smoothing = s the
+// target distribution is (1 - s) on the true class and s/(K-1) elsewhere
+// (the paper targets 0.9 / 0.1/9 on 10 classes, i.e. s = 0.1).
+LossStats softmax_cross_entropy(const Tensor& logits,
+                                std::span<const int> labels,
+                                float label_smoothing = 0.0f);
+
+}  // namespace ber

@@ -1,0 +1,236 @@
+#include "nn/norm.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ber {
+
+GroupNorm::GroupNorm(long groups, long channels, float eps)
+    : groups_(groups), channels_(channels), eps_(eps) {
+  if (channels % groups != 0) {
+    throw std::invalid_argument("GroupNorm: channels % groups != 0");
+  }
+  scale_.name = "gn.scale";
+  scale_.kind = ParamKind::kNormScale;
+  scale_.value = Tensor::zeros({channels});  // alpha' = 0 -> gamma = 1
+  scale_.grad = Tensor::zeros({channels});
+  bias_.name = "gn.bias";
+  bias_.kind = ParamKind::kNormBias;
+  bias_.value = Tensor::zeros({channels});
+  bias_.grad = Tensor::zeros({channels});
+}
+
+Tensor GroupNorm::forward(const Tensor& x, bool training) {
+  if (x.dim() != 4 || x.shape(1) != channels_) {
+    throw std::invalid_argument("GroupNorm: bad input " + x.shape_str());
+  }
+  const long n = x.shape(0), c = x.shape(1), spatial = x.shape(2) * x.shape(3);
+  const long cpg = c / groups_;
+  const long m = cpg * spatial;  // elements per (n, group)
+
+  Tensor out(x.shape());
+  Tensor xhat(x.shape());
+  Tensor inv_std({n, groups_});
+  for (long i = 0; i < n; ++i) {
+    for (long g = 0; g < groups_; ++g) {
+      const float* src = x.data() + (i * c + g * cpg) * spatial;
+      double sum = 0.0, sq = 0.0;
+      for (long e = 0; e < m; ++e) {
+        sum += src[e];
+        sq += static_cast<double>(src[e]) * src[e];
+      }
+      const double mu = sum / m;
+      const double var = sq / m - mu * mu;
+      const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      inv_std.at(i, g) = istd;
+      float* xh = xhat.data() + (i * c + g * cpg) * spatial;
+      float* dst = out.data() + (i * c + g * cpg) * spatial;
+      for (long cc = 0; cc < cpg; ++cc) {
+        const long ch = g * cpg + cc;
+        const float gamma = 1.0f + scale_.value[ch];
+        const float beta = bias_.value[ch];
+        for (long s = 0; s < spatial; ++s) {
+          const long e = cc * spatial + s;
+          const float h = (src[e] - static_cast<float>(mu)) * istd;
+          xh[e] = h;
+          dst[e] = gamma * h + beta;
+        }
+      }
+    }
+  }
+  if (training) {
+    xhat_ = std::move(xhat);
+    inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor GroupNorm::backward(const Tensor& grad_out) {
+  const long n = grad_out.shape(0), c = grad_out.shape(1),
+             spatial = grad_out.shape(2) * grad_out.shape(3);
+  const long cpg = c / groups_;
+  const long m = cpg * spatial;
+
+  Tensor grad_in(grad_out.shape());
+  for (long i = 0; i < n; ++i) {
+    for (long g = 0; g < groups_; ++g) {
+      const float* go = grad_out.data() + (i * c + g * cpg) * spatial;
+      const float* xh = xhat_.data() + (i * c + g * cpg) * spatial;
+      const float istd = inv_std_.at(i, g);
+      // Accumulate per-channel param grads and per-group sums of
+      // dxhat and dxhat*xhat.
+      double sum_dxh = 0.0, sum_dxh_xh = 0.0;
+      for (long cc = 0; cc < cpg; ++cc) {
+        const long ch = g * cpg + cc;
+        const float gamma = 1.0f + scale_.value[ch];
+        double dscale = 0.0, dbias = 0.0;
+        for (long s = 0; s < spatial; ++s) {
+          const long e = cc * spatial + s;
+          dscale += static_cast<double>(go[e]) * xh[e];
+          dbias += go[e];
+          const double dxh = static_cast<double>(go[e]) * gamma;
+          sum_dxh += dxh;
+          sum_dxh_xh += dxh * xh[e];
+        }
+        scale_.grad[ch] += static_cast<float>(dscale);
+        bias_.grad[ch] += static_cast<float>(dbias);
+      }
+      float* gi = grad_in.data() + (i * c + g * cpg) * spatial;
+      const float inv_m = 1.0f / static_cast<float>(m);
+      for (long cc = 0; cc < cpg; ++cc) {
+        const long ch = g * cpg + cc;
+        const float gamma = 1.0f + scale_.value[ch];
+        for (long s = 0; s < spatial; ++s) {
+          const long e = cc * spatial + s;
+          const float dxh = go[e] * gamma;
+          gi[e] = istd * (dxh - inv_m * static_cast<float>(sum_dxh) -
+                          xh[e] * inv_m * static_cast<float>(sum_dxh_xh));
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string GroupNorm::name() const {
+  std::ostringstream os;
+  os << "GroupNorm(g" << groups_ << ",c" << channels_ << ")";
+  return os.str();
+}
+
+BatchNorm2d::BatchNorm2d(long channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+  scale_.name = "bn.scale";
+  scale_.kind = ParamKind::kNormScale;
+  scale_.value = Tensor::zeros({channels});
+  scale_.grad = Tensor::zeros({channels});
+  bias_.name = "bn.bias";
+  bias_.kind = ParamKind::kNormBias;
+  bias_.value = Tensor::zeros({channels});
+  bias_.grad = Tensor::zeros({channels});
+  running_mean_ = Tensor::zeros({channels});
+  running_var_ = Tensor::full({channels}, 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  if (x.dim() != 4 || x.shape(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: bad input " + x.shape_str());
+  }
+  const long n = x.shape(0), c = channels_, spatial = x.shape(2) * x.shape(3);
+  const long m = n * spatial;
+
+  const bool batch_stats = training || use_batch_stats_in_eval_;
+  Tensor out(x.shape());
+  Tensor xhat;
+  Tensor inv_std({c});
+  if (training) xhat = Tensor(x.shape());
+
+  for (long ch = 0; ch < c; ++ch) {
+    float mu, var;
+    if (batch_stats) {
+      double sum = 0.0, sq = 0.0;
+      for (long i = 0; i < n; ++i) {
+        const float* plane = x.data() + (i * c + ch) * spatial;
+        for (long s = 0; s < spatial; ++s) {
+          sum += plane[s];
+          sq += static_cast<double>(plane[s]) * plane[s];
+        }
+      }
+      mu = static_cast<float>(sum / m);
+      var = static_cast<float>(sq / m - static_cast<double>(mu) * mu);
+      if (training) {
+        running_mean_[ch] =
+            (1.0f - momentum_) * running_mean_[ch] + momentum_ * mu;
+        running_var_[ch] =
+            (1.0f - momentum_) * running_var_[ch] + momentum_ * var;
+      }
+    } else {
+      mu = running_mean_[ch];
+      var = running_var_[ch];
+    }
+    const float istd = 1.0f / std::sqrt(var + eps_);
+    inv_std[ch] = istd;
+    const float gamma = 1.0f + scale_.value[ch];
+    const float beta = bias_.value[ch];
+    for (long i = 0; i < n; ++i) {
+      const float* src = x.data() + (i * c + ch) * spatial;
+      float* dst = out.data() + (i * c + ch) * spatial;
+      float* xh =
+          training ? xhat.data() + (i * c + ch) * spatial : nullptr;
+      for (long s = 0; s < spatial; ++s) {
+        const float h = (src[s] - mu) * istd;
+        if (xh != nullptr) xh[s] = h;
+        dst[s] = gamma * h + beta;
+      }
+    }
+  }
+  if (training) {
+    xhat_ = std::move(xhat);
+    inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const long n = grad_out.shape(0), c = channels_,
+             spatial = grad_out.shape(2) * grad_out.shape(3);
+  const long m = n * spatial;
+
+  Tensor grad_in(grad_out.shape());
+  for (long ch = 0; ch < c; ++ch) {
+    const float gamma = 1.0f + scale_.value[ch];
+    const float istd = inv_std_[ch];
+    double sum_go = 0.0, sum_go_xh = 0.0;
+    for (long i = 0; i < n; ++i) {
+      const float* go = grad_out.data() + (i * c + ch) * spatial;
+      const float* xh = xhat_.data() + (i * c + ch) * spatial;
+      for (long s = 0; s < spatial; ++s) {
+        sum_go += go[s];
+        sum_go_xh += static_cast<double>(go[s]) * xh[s];
+      }
+    }
+    scale_.grad[ch] += static_cast<float>(sum_go_xh);
+    bias_.grad[ch] += static_cast<float>(sum_go);
+    const float inv_m = 1.0f / static_cast<float>(m);
+    for (long i = 0; i < n; ++i) {
+      const float* go = grad_out.data() + (i * c + ch) * spatial;
+      const float* xh = xhat_.data() + (i * c + ch) * spatial;
+      float* gi = grad_in.data() + (i * c + ch) * spatial;
+      for (long s = 0; s < spatial; ++s) {
+        gi[s] = gamma * istd *
+                (go[s] - inv_m * static_cast<float>(sum_go) -
+                 xh[s] * inv_m * static_cast<float>(sum_go_xh));
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string BatchNorm2d::name() const {
+  std::ostringstream os;
+  os << "BatchNorm2d(c" << channels_ << ")";
+  return os.str();
+}
+
+}  // namespace ber

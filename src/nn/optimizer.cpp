@@ -1,0 +1,28 @@
+#include "nn/optimizer.h"
+
+namespace ber {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    float* __restrict w = p->value.data();
+    const float* __restrict g = p->grad.data();
+    float* __restrict v = velocity_[i].data();
+    const long n = p->value.numel();
+    const float mu = config_.momentum;
+    const float wd = config_.weight_decay;
+    const float lr = config_.lr;
+    for (long j = 0; j < n; ++j) {
+      v[j] = mu * v[j] + g[j] + wd * w[j];
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+}  // namespace ber

@@ -1,0 +1,55 @@
+// SGD with momentum + weight decay and the paper's multi-step LR schedule.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ber {
+
+struct SgdConfig {
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+};
+
+// PyTorch-style SGD: v <- mu*v + (g + wd*w); w <- w - lr*v.
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+
+  void step();
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+// The paper's schedule: lr multiplied by `gamma` after 2/5, 3/5 and 4/5 of
+// total epochs, with an optional linear warmup (helps the small GN CNNs of
+// this reproduction escape their initial plateau reliably).
+struct MultiStepLr {
+  float base_lr = 0.05f;
+  float gamma = 0.1f;
+  int warmup_epochs = 0;
+
+  float at(int epoch, int total_epochs) const {
+    if (epoch < warmup_epochs) {
+      return base_lr * static_cast<float>(epoch + 1) /
+             static_cast<float>(warmup_epochs);
+    }
+    float lr = base_lr;
+    const double frac = total_epochs > 0
+                            ? static_cast<double>(epoch) / total_epochs
+                            : 0.0;
+    if (frac >= 0.4) lr *= gamma;
+    if (frac >= 0.6) lr *= gamma;
+    if (frac >= 0.8) lr *= gamma;
+    return lr;
+  }
+};
+
+}  // namespace ber

@@ -1,0 +1,40 @@
+// Spatial pooling layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ber {
+
+// Non-overlapping max pooling (kernel == stride), the paper's "Pool".
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(long kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
+
+ private:
+  long kernel_;
+  std::vector<long> in_shape_;
+  std::vector<long> argmax_;  // flat input index of each output element
+};
+
+// Global average pooling: [N,C,H,W] -> [N,C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>(*this);
+  }
+
+ private:
+  std::vector<long> in_shape_;
+};
+
+}  // namespace ber

@@ -1,0 +1,159 @@
+#include "nn/sequential.h"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/serialize.h"
+
+namespace ber {
+
+namespace {
+constexpr std::uint32_t kModelMagic = 0x4245524Du;  // "BERM"
+constexpr std::uint32_t kModelVersion = 1;
+}  // namespace
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, training);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> all;
+  for (auto& l : layers_) {
+    for (Tensor* b : l->buffers()) all.push_back(b);
+  }
+  return all;
+}
+
+std::string Sequential::name() const {
+  std::ostringstream os;
+  os << "Sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << layers_[i]->name() << (i + 1 < layers_.size() ? "," : "");
+  }
+  os << ']';
+  return os.str();
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  return std::make_unique<Sequential>(*this);
+}
+
+void Sequential::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& l : layers_) {
+    fn(*l);
+    if (auto* seq = dynamic_cast<Sequential*>(l.get())) {
+      seq->visit(fn);
+    } else if (auto* res = dynamic_cast<Residual*>(l.get())) {
+      fn(res->body());
+      res->body().visit(fn);
+    }
+  }
+}
+
+long Sequential::num_weights() {
+  long n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+std::string Sequential::signature() {
+  std::ostringstream os;
+  os << name() << "#";
+  for (Param* p : params()) os << p->value.shape_str();
+  return os.str();
+}
+
+void Sequential::save(const std::string& path) {
+  BinaryWriter w(path);
+  w.write_pod(kModelMagic);
+  w.write_pod(kModelVersion);
+  w.write_string(signature());
+  const auto ps = params();
+  w.write_pod<std::uint64_t>(ps.size());
+  for (Param* p : ps) {
+    w.write_string(p->name);
+    w.write_vector(std::vector<long>(p->value.shape()));
+    std::vector<float> data(p->value.data(), p->value.data() + p->value.numel());
+    w.write_vector(data);
+  }
+  const auto bs = buffers();
+  w.write_pod<std::uint64_t>(bs.size());
+  for (Tensor* b : bs) {
+    std::vector<float> data(b->data(), b->data() + b->numel());
+    w.write_vector(data);
+  }
+  if (!w.good()) throw std::runtime_error("Sequential::save failed: " + path);
+}
+
+void Sequential::load(const std::string& path) {
+  BinaryReader r(path);
+  if (r.read_pod<std::uint32_t>() != kModelMagic) {
+    throw std::runtime_error("Sequential::load: bad magic in " + path);
+  }
+  if (r.read_pod<std::uint32_t>() != kModelVersion) {
+    throw std::runtime_error("Sequential::load: version mismatch in " + path);
+  }
+  const std::string sig = r.read_string();
+  if (sig != signature()) {
+    throw std::runtime_error("Sequential::load: architecture mismatch:\n  file:  " +
+                             sig + "\n  model: " + signature());
+  }
+  const auto ps = params();
+  if (r.read_pod<std::uint64_t>() != ps.size()) {
+    throw std::runtime_error("Sequential::load: param count mismatch");
+  }
+  for (Param* p : ps) {
+    r.read_string();  // name (informational)
+    const auto shape = r.read_vector<long>();
+    const auto data = r.read_vector<float>();
+    if (static_cast<long>(data.size()) != p->value.numel()) {
+      throw std::runtime_error("Sequential::load: size mismatch for " + p->name);
+    }
+    std::copy(data.begin(), data.end(), p->value.data());
+  }
+  const auto bs = buffers();
+  if (r.read_pod<std::uint64_t>() != bs.size()) {
+    throw std::runtime_error("Sequential::load: buffer count mismatch");
+  }
+  for (Tensor* b : bs) {
+    const auto data = r.read_vector<float>();
+    if (static_cast<long>(data.size()) != b->numel()) {
+      throw std::runtime_error("Sequential::load: buffer size mismatch");
+    }
+    std::copy(data.begin(), data.end(), b->data());
+  }
+}
+
+}  // namespace ber

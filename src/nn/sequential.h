@@ -1,0 +1,87 @@
+// Sequential container + residual block, with checkpoint serialization.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ber {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  // Appends a layer; returns a reference typed as the concrete layer for
+  // call-site configuration.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::vector<Tensor*> buffers() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  // Applies fn to every layer, recursing into nested containers.
+  void visit(const std::function<void(Layer&)>& fn);
+
+  // Total number of learnable scalars (the paper's W).
+  long num_weights();
+
+  // Architecture signature used to validate checkpoints.
+  std::string signature();
+
+  // Checkpoint I/O. Load requires an identically-built architecture.
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// y = body(x) + x. Shapes must match (same channels / spatial size).
+class Residual : public Layer {
+ public:
+  explicit Residual(Sequential body) : body_(std::move(body)) {}
+
+  Tensor forward(const Tensor& x, bool training) override {
+    Tensor y = body_.forward(x, training);
+    y.axpy(1.0f, x);
+    return y;
+  }
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor gi = body_.backward(grad_out);
+    gi.axpy(1.0f, grad_out);
+    return gi;
+  }
+  std::vector<Param*> params() override { return body_.params(); }
+  std::vector<Tensor*> buffers() override { return body_.buffers(); }
+  std::string name() const override { return "Residual(" + body_.name() + ")"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Residual>(*this);
+  }
+  Sequential& body() { return body_; }
+
+ private:
+  Sequential body_;
+};
+
+}  // namespace ber

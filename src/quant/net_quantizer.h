@@ -1,0 +1,63 @@
+// Whole-network quantization snapshots.
+//
+// The training loop and the evaluation harness both need to (a) quantize all
+// parameters of a model, (b) optionally perturb the codes (bit errors), and
+// (c) write the dequantized weights back into the model ("fake
+// quantization", App. D: the forward pass runs in floating point on
+// dequantized weights; weight updates happen on the float master copy).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+
+// A quantized image of every parameter tensor of a network. `offsets` gives
+// each tensor's first global weight index so bit-error coordinates (weight
+// index, bit index) are stable across the whole net — this is the "linear
+// weight-to-memory mapping" of Sec. 3.
+struct NetSnapshot {
+  std::vector<QuantizedTensor> tensors;
+  std::vector<std::size_t> offsets;
+
+  std::size_t total_weights() const {
+    return tensors.empty()
+               ? 0
+               : offsets.back() + tensors.back().size();
+  }
+};
+
+class NetQuantizer {
+ public:
+  explicit NetQuantizer(QuantScheme scheme) : scheme_(scheme) {}
+
+  const QuantScheme& scheme() const { return scheme_; }
+
+  // Quantizes all parameters. Per-tensor scope computes one range per
+  // parameter tensor (the paper treats each layer's weights and biases
+  // separately, like PyTorch); global scope computes a single range over the
+  // concatenation of all parameters.
+  NetSnapshot quantize(const std::vector<Param*>& params) const;
+
+  // Dequantizes the snapshot into the parameter tensors (must be the same
+  // parameter list, in order).
+  void write_dequantized(const NetSnapshot& snap,
+                         const std::vector<Param*>& params) const;
+
+ private:
+  QuantScheme scheme_;
+};
+
+// Saves/restores float master weights around fake-quantized passes.
+class WeightStash {
+ public:
+  void save(const std::vector<Param*>& params);
+  void restore(const std::vector<Param*>& params) const;
+
+ private:
+  std::vector<Tensor> saved_;
+};
+
+}  // namespace ber

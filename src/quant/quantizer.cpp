@@ -1,0 +1,144 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ber {
+
+namespace {
+
+// Largest positive level: 2^(m-1) - 1 (Eq. (1)).
+long max_level(int bits) { return (1L << (bits - 1)) - 1; }
+
+// Rounds x toward nearest (half away from zero) or truncates toward zero —
+// the latter replicates C float-to-integer conversion, the paper's
+// non-robust default.
+long to_level(float x, bool rounded) {
+  return rounded ? std::lround(x) : static_cast<long>(x);
+}
+
+void check_scheme(const QuantScheme& s) {
+  if (s.bits < 2 || s.bits > 16) {
+    throw std::invalid_argument("QuantScheme: bits must be in [2,16]");
+  }
+}
+
+// Maps w into the normalized domain: identity for symmetric schemes,
+// N-transform (Eq. (3)) onto [-1, 1] for asymmetric ones.
+float to_normalized(float w, const QuantScheme& s, const QuantRange& r) {
+  if (!s.asymmetric) return w;
+  return 2.0f * (w - r.qmin) / (r.qmax - r.qmin) - 1.0f;
+}
+
+float from_normalized(float t, const QuantScheme& s, const QuantRange& r) {
+  if (!s.asymmetric) return t;
+  return (t + 1.0f) * 0.5f * (r.qmax - r.qmin) + r.qmin;
+}
+
+}  // namespace
+
+std::string QuantScheme::str() const {
+  std::ostringstream os;
+  os << "m" << bits << (scope == RangeScope::kGlobal ? ",global" : ",per-tensor")
+     << (asymmetric ? ",asym" : ",sym") << (unsigned_codes ? ",unsigned" : ",signed")
+     << (rounded ? ",round" : ",trunc");
+  return os.str();
+}
+
+QuantRange compute_range(std::span<const float> values,
+                         const QuantScheme& scheme) {
+  check_scheme(scheme);
+  QuantRange r;
+  if (scheme.asymmetric) {
+    float lo = 0.0f, hi = 0.0f;
+    if (!values.empty()) {
+      lo = *std::min_element(values.begin(), values.end());
+      hi = *std::max_element(values.begin(), values.end());
+    }
+    if (hi - lo < 1e-8f) hi = lo + 1e-8f;
+    r.qmin = lo;
+    r.qmax = hi;
+  } else {
+    float m = 0.0f;
+    for (float v : values) m = std::max(m, std::abs(v));
+    if (m < 1e-8f) m = 1e-8f;
+    r.qmin = -m;
+    r.qmax = m;
+  }
+  return r;
+}
+
+float quant_delta(const QuantScheme& scheme, const QuantRange& range) {
+  // In the asymmetric case quantization happens in the normalized [-1, 1]
+  // domain, so the effective qmax is 1.
+  const float qmax = scheme.asymmetric ? 1.0f : range.qmax;
+  return qmax / static_cast<float>(max_level(scheme.bits));
+}
+
+std::uint16_t encode_value(float w, const QuantScheme& scheme,
+                           const QuantRange& range) {
+  const long ml = max_level(scheme.bits);
+  const float delta = quant_delta(scheme, range);
+  const float t = std::clamp(to_normalized(w, scheme, range),
+                             scheme.asymmetric ? -1.0f : range.qmin,
+                             scheme.asymmetric ? 1.0f : range.qmax);
+  long v = to_level(t / delta, scheme.rounded);
+  v = std::clamp(v, -ml, ml);
+  if (scheme.unsigned_codes) {
+    // Eq. (4): additive offset makes all codes non-negative.
+    return static_cast<std::uint16_t>(v + ml);
+  }
+  // Two's complement in the low m bits.
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>((1u << scheme.bits) - 1u);
+  return static_cast<std::uint16_t>(static_cast<std::uint32_t>(v) & mask);
+}
+
+float decode_code(std::uint16_t code, const QuantScheme& scheme,
+                  const QuantRange& range) {
+  const long ml = max_level(scheme.bits);
+  const float delta = quant_delta(scheme, range);
+  long v;
+  if (scheme.unsigned_codes) {
+    v = static_cast<long>(code) - ml;
+  } else {
+    // Sign-extend the m-bit two's complement code.
+    const std::uint32_t mask = (1u << scheme.bits) - 1u;
+    std::uint32_t u = code & mask;
+    const std::uint32_t sign_bit = 1u << (scheme.bits - 1);
+    v = (u & sign_bit) ? static_cast<long>(u) - (1L << scheme.bits)
+                       : static_cast<long>(u);
+  }
+  return from_normalized(delta * static_cast<float>(v), scheme, range);
+}
+
+QuantizedTensor quantize(std::span<const float> values,
+                         const QuantScheme& scheme, const QuantRange& range) {
+  check_scheme(scheme);
+  QuantizedTensor qt;
+  qt.scheme = scheme;
+  qt.range = range;
+  qt.codes.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    qt.codes[i] = encode_value(values[i], scheme, range);
+  }
+  return qt;
+}
+
+QuantizedTensor quantize(std::span<const float> values,
+                         const QuantScheme& scheme) {
+  return quantize(values, scheme, compute_range(values, scheme));
+}
+
+void dequantize(const QuantizedTensor& qt, std::span<float> out) {
+  if (out.size() != qt.codes.size()) {
+    throw std::invalid_argument("dequantize: output size mismatch");
+  }
+  for (std::size_t i = 0; i < qt.codes.size(); ++i) {
+    out[i] = decode_code(qt.codes[i], qt.scheme, qt.range);
+  }
+}
+
+}  // namespace ber

@@ -1,0 +1,101 @@
+// Fixed-point quantization schemes (Sec. 4.1, App. D of the paper).
+//
+// A weight w in the quantization range is represented by a real m-bit code
+// word; codes are stored in the low m bits of a uint16_t so that injected
+// bit flips behave exactly like hardware bit flips — including the two's
+// complement semantics of the sign bit, which is what makes the
+// signed-asymmetric scheme fragile (Tab. 1) and the unsigned scheme robust.
+//
+// Scheme axes (each an explicit knob so the Tab. 1/Tab. 8 ablation is a
+// parameter sweep, not a code fork):
+//   * range scope:   global (one range for the whole net) vs per-tensor
+//   * symmetric [-qmax, qmax] vs asymmetric [qmin, qmax] via the N-transform
+//     of Eq. (3): N(w) = 2 (w - qmin)/(qmax - qmin) - 1
+//   * signed two's complement codes vs unsigned codes with additive offset
+//     2^(m-1) - 1 (Eq. (4))
+//   * trunc-toward-zero ("float-to-integer conversion") vs proper rounding
+//
+// NORMAL  = per-tensor, symmetric, signed, trunc   (the paper's baseline)
+// RQUANT  = per-tensor, asymmetric, unsigned, round (the paper's robust one)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ber {
+
+enum class RangeScope { kGlobal, kPerTensor };
+
+struct QuantScheme {
+  int bits = 8;  // m, 2..16
+  RangeScope scope = RangeScope::kPerTensor;
+  bool asymmetric = false;
+  bool unsigned_codes = false;
+  bool rounded = false;
+
+  static QuantScheme normal(int bits = 8) { return {bits}; }
+  static QuantScheme rquant(int bits = 8) {
+    return {bits, RangeScope::kPerTensor, true, true, true};
+  }
+  // NORMAL with a single global range (Tab. 1 row 1).
+  static QuantScheme global_symmetric(int bits = 8) {
+    return {bits, RangeScope::kGlobal};
+  }
+  // RQUANT without rounding (Tab. 1 4-bit ablation).
+  static QuantScheme rquant_trunc(int bits = 8) {
+    return {bits, RangeScope::kPerTensor, true, true, false};
+  }
+  // Symmetric signed with rounding (Tab. 9/12 "symmetric" variant).
+  static QuantScheme symmetric_rounded(int bits = 8) {
+    return {bits, RangeScope::kPerTensor, false, false, true};
+  }
+
+  std::string str() const;
+  bool operator==(const QuantScheme&) const = default;
+};
+
+// Per-tensor (or global) quantization range.
+struct QuantRange {
+  float qmin = -1.0f;
+  float qmax = 1.0f;
+};
+
+// Codes for one tensor plus everything needed to decode them.
+struct QuantizedTensor {
+  QuantScheme scheme;
+  QuantRange range;
+  std::vector<std::uint16_t> codes;
+
+  std::size_t size() const { return codes.size(); }
+};
+
+// Computes the range used for quantizing `values` under `scheme`:
+// symmetric -> [-max|w|, max|w|], asymmetric -> [min w, max w]. Degenerate
+// ranges are widened to a tiny non-empty interval.
+QuantRange compute_range(std::span<const float> values,
+                         const QuantScheme& scheme);
+
+// Quantizes values with the given range (use compute_range unless a global /
+// externally-fixed range is wanted).
+QuantizedTensor quantize(std::span<const float> values,
+                         const QuantScheme& scheme, const QuantRange& range);
+QuantizedTensor quantize(std::span<const float> values,
+                         const QuantScheme& scheme);
+
+// Decodes codes back to floats. out.size() must equal qt.size().
+void dequantize(const QuantizedTensor& qt, std::span<float> out);
+
+// Single-value encode/decode, exposed for tests and for Fig. 4 error
+// structure analysis.
+std::uint16_t encode_value(float w, const QuantScheme& scheme,
+                           const QuantRange& range);
+float decode_code(std::uint16_t code, const QuantScheme& scheme,
+                  const QuantRange& range);
+
+// Quantization step size Delta of Eq. (1) for the scheme/range.
+float quant_delta(const QuantScheme& scheme, const QuantRange& range);
+
+}  // namespace ber

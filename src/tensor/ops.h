@@ -1,0 +1,47 @@
+// Compute kernels: GEMM, im2col/col2im and softmax utilities.
+//
+// These are the performance floor of the whole library: convolution forward/
+// backward lowers to im2col + GEMM. The GEMM is a cache-friendly ikj loop
+// that GCC auto-vectorizes (AVX2/AVX-512); good enough for the small models
+// used in the reproduction.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace ber {
+
+// C[m,n] = alpha * A[m,k] x B[k,n] + beta * C. Row-major, no transposes;
+// callers lay out operands accordingly.
+void gemm(long m, long n, long k, float alpha, const float* a, const float* b,
+          float beta, float* c);
+
+// C[m,n] += A^T[m,k] x B[k,n] where A is stored as [k,m] (i.e. implicit
+// transpose of the first operand). Used by conv backward-input.
+void gemm_at(long m, long n, long k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+// C[m,n] += A[m,k] x B^T[k,n] where B is stored as [n,k]. Used by conv
+// weight gradients.
+void gemm_bt(long m, long n, long k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+// Lowers one image [C,H,W] to a column matrix [C*kh*kw, OH*OW] for
+// convolution with given kernel/stride/pad (zero padding).
+void im2col(const float* img, long channels, long height, long width, long kh,
+            long kw, long stride, long pad, float* col);
+
+// Adjoint of im2col: accumulates the column matrix back into the image
+// gradient buffer (which must be pre-zeroed by the caller).
+void col2im(const float* col, long channels, long height, long width, long kh,
+            long kw, long stride, long pad, float* img);
+
+// Output spatial size for conv/pool arithmetic.
+long conv_out_size(long in, long kernel, long stride, long pad);
+
+// In-place row-wise softmax over a [rows, cols] matrix.
+void softmax_rows(Tensor& logits);
+
+// Index of the max element of row `r` in a [rows, cols] matrix.
+long argmax_row(const Tensor& m, long r);
+
+}  // namespace ber

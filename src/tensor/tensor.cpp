@@ -1,0 +1,146 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace ber {
+
+namespace {
+long shape_numel(const std::vector<long>& shape) {
+  long n = 1;
+  for (long s : shape) {
+    if (s < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= s;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<long> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor Tensor::zeros(std::vector<long> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<long> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<long> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal() * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<long> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<long> shape, std::vector<float> data) {
+  if (shape_numel(shape) != static_cast<long>(data.size())) {
+    throw std::invalid_argument("Tensor::from_data: shape/data mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+long Tensor::shape(int i) const {
+  if (i < 0 || i >= dim()) throw std::out_of_range("Tensor::shape index");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(long i, long j) { return data_[i * shape_[1] + j]; }
+float Tensor::at(long i, long j) const { return data_[i * shape_[1] + j]; }
+
+float& Tensor::at(long n, long c, long h, long w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+float Tensor::at(long n, long c, long h, long w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(std::vector<long> shape) const {
+  long known = 1;
+  int infer = -1;
+  for (int i = 0; i < static_cast<int>(shape.size()); ++i) {
+    if (shape[i] == -1) {
+      if (infer >= 0) throw std::invalid_argument("reshaped: multiple -1");
+      infer = i;
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) {
+    if (known == 0 || numel() % known != 0) {
+      throw std::invalid_argument("reshaped: cannot infer dimension");
+    }
+    shape[infer] = numel() / known;
+    known *= shape[infer];
+  }
+  if (known != numel()) throw std::invalid_argument("reshaped: numel mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  if (other.numel() != numel()) throw std::invalid_argument("axpy: size mismatch");
+  const float* __restrict o = other.data();
+  float* __restrict d = data();
+  const long n = numel();
+  for (long i = 0; i < n; ++i) d[i] += alpha * o[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+void Tensor::clamp(float lo, float hi) {
+  for (auto& v : data_) v = std::min(hi, std::max(lo, v));
+}
+
+float Tensor::min() const {
+  return data_.empty() ? 0.0f : *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  return data_.empty() ? 0.0f : *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / numel(); }
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << shape_[i] << (i + 1 < shape_.size() ? "," : "");
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ber

@@ -1,0 +1,74 @@
+// Dense float tensor with value semantics.
+//
+// Row-major, contiguous, NCHW convention for image batches. Deliberately
+// minimal: the NN layers own all the interesting math; Tensor is storage +
+// shape bookkeeping + a few elementwise helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ber {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<long> shape);
+
+  static Tensor zeros(std::vector<long> shape);
+  static Tensor full(std::vector<long> shape, float value);
+  // i.i.d. N(0, stddev^2).
+  static Tensor randn(std::vector<long> shape, Rng& rng, float stddev = 1.0f);
+  static Tensor uniform(std::vector<long> shape, Rng& rng, float lo, float hi);
+  static Tensor from_data(std::vector<long> shape, std::vector<float> data);
+
+  long numel() const { return static_cast<long>(data_.size()); }
+  int dim() const { return static_cast<int>(shape_.size()); }
+  long shape(int i) const;
+  const std::vector<long>& shape() const { return shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](long i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](long i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // Multi-dimensional access (debug-checked in tests via shape()).
+  float& at(long i, long j);
+  float at(long i, long j) const;
+  float& at(long n, long c, long h, long w);
+  float at(long n, long c, long h, long w) const;
+
+  // Returns a copy with a new shape; numel must match. A -1 entry is
+  // inferred from the remaining dimensions.
+  Tensor reshaped(std::vector<long> shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+  void scale(float alpha);
+  // Element-wise clamp to [lo, hi].
+  void clamp(float lo, float hi);
+
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  double sum() const;
+  double mean() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<long> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ber

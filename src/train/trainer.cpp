@@ -1,0 +1,200 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "biterror/injector.h"
+#include "core/hash.h"
+#include "core/rng.h"
+#include "eval/metrics.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "quant/net_quantizer.h"
+
+namespace ber {
+
+void clip_weights(const std::vector<Param*>& params, float wmax) {
+  if (wmax <= 0.0f) return;
+  for (Param* p : params) p->value.clamp(-wmax, wmax);
+}
+
+namespace {
+
+// One fake-quantized forward/backward accumulation: writes dequantized
+// (optionally perturbed) weights, runs the pass, leaves gradients
+// accumulated in the params. Master weights must be stashed by the caller.
+LossStats quantized_pass(Sequential& model, const NetQuantizer& quantizer,
+                         const NetSnapshot& snap,
+                         const std::vector<Param*>& params, const Tensor& x,
+                         std::span<const int> labels, float label_smoothing) {
+  quantizer.write_dequantized(snap, params);
+  Tensor logits = model.forward(x, /*training=*/true);
+  LossStats stats = softmax_cross_entropy(logits, labels, label_smoothing);
+  model.backward(stats.grad_logits);
+  return stats;
+}
+
+}  // namespace
+
+TrainStats train(Sequential& model, const Dataset& train_set,
+                 const Dataset& test_set, const TrainConfig& config) {
+  Rng rng(config.seed);
+  he_init(model, rng);
+  const std::vector<Param*> params = model.params();
+
+  Sgd opt(params, config.sgd);
+  MultiStepLr schedule{config.sgd.lr};
+  schedule.warmup_epochs = config.lr_warmup_epochs;
+  NetQuantizer quantizer(config.quant);
+  WeightStash stash;
+
+  const long n = train_set.size();
+  std::vector<long> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0L);
+
+  TrainStats out;
+  const bool uses_bit_errors =
+      config.method == Method::kRandBET || config.method == Method::kPattBET;
+  bool injection_active = false;
+  int activation_epoch = -1;
+  std::uint64_t step = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    opt.set_lr(schedule.at(epoch, config.epochs));
+    // Fisher-Yates shuffle from our deterministic stream.
+    for (long i = n - 1; i > 0; --i) {
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<int>(i)))]);
+    }
+
+    double loss_sum = 0.0;
+    long correct = 0, seen = 0;
+    Tensor batch_images;
+    std::vector<int> batch_labels;
+    Tensor gather;
+
+    for (long start = 0; start < n; start += config.batch_size) {
+      const long end = std::min<long>(start + config.batch_size, n);
+      const long b = end - start;
+      // Gather the shuffled batch.
+      const long stride =
+          train_set.channels() * train_set.height() * train_set.width();
+      batch_images = Tensor({b, train_set.channels(), train_set.height(),
+                             train_set.width()});
+      batch_labels.resize(static_cast<std::size_t>(b));
+      for (long i = 0; i < b; ++i) {
+        const long src = order[static_cast<std::size_t>(start + i)];
+        std::copy(train_set.images.data() + src * stride,
+                  train_set.images.data() + (src + 1) * stride,
+                  batch_images.data() + i * stride);
+        batch_labels[static_cast<std::size_t>(i)] =
+            train_set.labels[static_cast<std::size_t>(src)];
+      }
+      augment_batch(batch_images, config.augment, rng);
+
+      // Projection before quantization (Alg. 1 line 6).
+      clip_weights(params, config.wmax);
+      model.zero_grad();
+
+      LossStats clean_stats;
+      if (config.quant_aware) {
+        stash.save(params);
+        const NetSnapshot snap = quantizer.quantize(params);
+        clean_stats =
+            quantized_pass(model, quantizer, snap, params, batch_images,
+                           batch_labels, config.label_smoothing);
+
+        if (uses_bit_errors && injection_active) {
+          double p_now = config.p_train;
+          if (config.curricular && activation_epoch >= 0) {
+            // Ramp p/20 -> p over the remaining epochs after activation.
+            const double frac = std::min(
+                1.0, static_cast<double>(epoch - activation_epoch + 1) /
+                         std::max(1, (config.epochs - activation_epoch) / 2));
+            p_now = config.p_train * (0.05 + 0.95 * frac);
+          }
+          const std::uint64_t chip =
+              config.method == Method::kPattBET
+                  ? config.pattern_seed
+                  : hash_mix(config.seed, 0xB17E44ULL, step);
+          NetSnapshot perturbed = snap;
+          BitErrorConfig bec;
+          bec.p = p_now;
+          inject_random_bit_errors(perturbed, bec, chip);
+
+          if (config.alternating) {
+            // Two separate updates: clean first, then perturbed with a
+            // range projection so bit errors cannot grow the quantization
+            // range (App. G.4 "alternating" variant).
+            stash.restore(params);
+            opt.step();
+            clip_weights(params, config.wmax);
+            std::vector<float> pre_range(params.size());
+            for (std::size_t i = 0; i < params.size(); ++i) {
+              pre_range[i] = params[i]->value.abs_max();
+            }
+            stash.save(params);
+            model.zero_grad();
+            quantized_pass(model, quantizer, perturbed, params, batch_images,
+                           batch_labels, config.label_smoothing);
+            stash.restore(params);
+            opt.step();
+            for (std::size_t i = 0; i < params.size(); ++i) {
+              if (pre_range[i] > 0.0f) {
+                params[i]->value.clamp(-pre_range[i], pre_range[i]);
+              }
+            }
+            clip_weights(params, config.wmax);
+            loss_sum += clean_stats.loss * b;
+            correct += clean_stats.correct;
+            seen += b;
+            ++step;
+            continue;
+          }
+          // Standard RANDBET: accumulate perturbed gradients on top
+          // (summed update, Alg. 1 line 16).
+          quantized_pass(model, quantizer, perturbed, params, batch_images,
+                         batch_labels, config.label_smoothing);
+        }
+        stash.restore(params);
+      } else {
+        // Plain float training (post-training quantization experiments).
+        Tensor logits = model.forward(batch_images, /*training=*/true);
+        clean_stats = softmax_cross_entropy(logits, batch_labels,
+                                            config.label_smoothing);
+        model.backward(clean_stats.grad_logits);
+      }
+
+      opt.step();
+      clip_weights(params, config.wmax);
+
+      loss_sum += clean_stats.loss * b;
+      correct += clean_stats.correct;
+      seen += b;
+      ++step;
+    }
+
+    const float epoch_loss = static_cast<float>(loss_sum / seen);
+    out.epoch_loss.push_back(epoch_loss);
+    out.epoch_train_err.push_back(1.0f - static_cast<float>(correct) /
+                                             static_cast<float>(seen));
+    // Gate bit error injection on the clean loss (Sec. 4.3: "as soon as the
+    // (clean) cross-entropy loss is below 1.75").
+    if (uses_bit_errors && !injection_active &&
+        epoch_loss < config.bit_error_loss_threshold) {
+      injection_active = true;
+      activation_epoch = epoch + 1;
+      out.bit_error_start_epoch = activation_epoch;
+    }
+  }
+
+  // Final projection + report clean test error of the quantized model.
+  clip_weights(params, config.wmax);
+  out.final_test_err = test_error(model, test_set,
+                                  config.quant_aware ? &config.quant : nullptr);
+  return out;
+}
+
+}  // namespace ber

@@ -1,0 +1,222 @@
+// Random bit error model tests: rate concentration, the Sec. 3 persistence
+// (subset) property, chip independence and fault-type semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "biterror/injector.h"
+#include "core/rng.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+namespace {
+
+NetSnapshot make_snapshot(std::size_t n_weights, int bits,
+                          std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> w(n_weights);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  NetSnapshot snap;
+  snap.tensors.push_back(quantize(w, QuantScheme::rquant(bits)));
+  snap.offsets.push_back(0);
+  return snap;
+}
+
+long count_flipped_bits(const NetSnapshot& a, const NetSnapshot& b, int bits) {
+  long flips = 0;
+  for (std::size_t t = 0; t < a.tensors.size(); ++t) {
+    for (std::size_t i = 0; i < a.tensors[t].codes.size(); ++i) {
+      const std::uint16_t diff =
+          (a.tensors[t].codes[i] ^ b.tensors[t].codes[i]) &
+          static_cast<std::uint16_t>((1u << bits) - 1u);
+      flips += __builtin_popcount(diff);
+    }
+  }
+  return flips;
+}
+
+TEST(BitError, ExpectedCountFormula) {
+  // Tab. 6: p. m. W, e.g. CIFAR10 with p=1%, m=8, W=5,498,378 -> 439,870.
+  EXPECT_NEAR(expected_bit_errors(0.01, 8, 5498378), 439870.2, 0.5);
+  EXPECT_NEAR(expected_bit_errors(0.005, 8, 5498378), 219935.1, 0.5);
+}
+
+TEST(BitError, EmpiricalRateMatchesP) {
+  const int bits = 8;
+  const std::size_t n = 40000;
+  NetSnapshot clean = make_snapshot(n, bits);
+  for (double p : {0.001, 0.01, 0.05}) {
+    NetSnapshot pert = clean;
+    BitErrorConfig cfg;
+    cfg.p = p;
+    inject_random_bit_errors(pert, cfg, /*chip=*/7);
+    const long flips = count_flipped_bits(clean, pert, bits);
+    const double rate = static_cast<double>(flips) / (n * bits);
+    EXPECT_NEAR(rate, p, 4.0 * std::sqrt(p / (n * bits)) + 1e-4) << "p=" << p;
+  }
+}
+
+TEST(BitError, ZeroRateIsNoOp) {
+  NetSnapshot clean = make_snapshot(1000, 8);
+  NetSnapshot pert = clean;
+  BitErrorConfig cfg;
+  cfg.p = 0.0;
+  EXPECT_EQ(inject_random_bit_errors(pert, cfg, 3), 0u);
+  EXPECT_EQ(count_flipped_bits(clean, pert, 8), 0);
+}
+
+TEST(BitError, InvalidRateThrows) {
+  NetSnapshot snap = make_snapshot(10, 8);
+  BitErrorConfig cfg;
+  cfg.p = 1.5;
+  EXPECT_THROW(inject_random_bit_errors(snap, cfg, 1), std::invalid_argument);
+}
+
+TEST(BitError, PersistenceSubsetProperty) {
+  // Sec. 3: for a fixed chip, errors at p' <= p are a subset of errors at p.
+  const int bits = 8;
+  NetSnapshot clean = make_snapshot(20000, bits);
+  const std::uint64_t chip = 42;
+
+  NetSnapshot low = clean, high = clean;
+  BitErrorConfig cl, ch;
+  cl.p = 0.005;
+  ch.p = 0.02;
+  inject_random_bit_errors(low, cl, chip);
+  inject_random_bit_errors(high, ch, chip);
+
+  // Every bit flipped at low p must also be flipped at high p.
+  for (std::size_t i = 0; i < clean.tensors[0].codes.size(); ++i) {
+    const std::uint16_t dl = clean.tensors[0].codes[i] ^ low.tensors[0].codes[i];
+    const std::uint16_t dh = clean.tensors[0].codes[i] ^ high.tensors[0].codes[i];
+    EXPECT_EQ(dl & dh, dl) << "bit errors at low p not a subset at index " << i;
+  }
+}
+
+TEST(BitError, ChipsAreIndependent) {
+  const int bits = 8;
+  NetSnapshot clean = make_snapshot(20000, bits);
+  NetSnapshot a = clean, b = clean;
+  BitErrorConfig cfg;
+  cfg.p = 0.01;
+  inject_random_bit_errors(a, cfg, 1);
+  inject_random_bit_errors(b, cfg, 2);
+  // Overlap between the two flip sets should be ~p^2 per bit, i.e. tiny.
+  long overlap = 0, total_a = 0;
+  for (std::size_t i = 0; i < clean.tensors[0].codes.size(); ++i) {
+    const std::uint16_t da = clean.tensors[0].codes[i] ^ a.tensors[0].codes[i];
+    const std::uint16_t db = clean.tensors[0].codes[i] ^ b.tensors[0].codes[i];
+    overlap += __builtin_popcount(da & db);
+    total_a += __builtin_popcount(da);
+  }
+  EXPECT_GT(total_a, 0);
+  EXPECT_LT(static_cast<double>(overlap) / total_a, 0.05);
+}
+
+TEST(BitError, Deterministic) {
+  NetSnapshot a = make_snapshot(5000, 8);
+  NetSnapshot b = a;
+  BitErrorConfig cfg;
+  cfg.p = 0.01;
+  inject_random_bit_errors(a, cfg, 99);
+  inject_random_bit_errors(b, cfg, 99);
+  EXPECT_EQ(a.tensors[0].codes, b.tensors[0].codes);
+}
+
+TEST(BitError, FlipTwiceRestores) {
+  // Pure flip faults are involutions: applying the same chip twice undoes.
+  NetSnapshot clean = make_snapshot(5000, 8);
+  NetSnapshot pert = clean;
+  BitErrorConfig cfg;
+  cfg.p = 0.02;
+  inject_random_bit_errors(pert, cfg, 5);
+  EXPECT_NE(clean.tensors[0].codes, pert.tensors[0].codes);
+  inject_random_bit_errors(pert, cfg, 5);
+  EXPECT_EQ(clean.tensors[0].codes, pert.tensors[0].codes);
+}
+
+TEST(BitError, ApplyFaultSemantics) {
+  EXPECT_EQ(apply_fault(0b0000, 2, FaultType::kFlip), 0b0100);
+  EXPECT_EQ(apply_fault(0b0100, 2, FaultType::kFlip), 0b0000);
+  EXPECT_EQ(apply_fault(0b0000, 2, FaultType::kSet1), 0b0100);
+  EXPECT_EQ(apply_fault(0b0100, 2, FaultType::kSet1), 0b0100);
+  EXPECT_EQ(apply_fault(0b0100, 2, FaultType::kSet0), 0b0000);
+  EXPECT_EQ(apply_fault(0b0000, 2, FaultType::kSet0), 0b0000);
+}
+
+TEST(BitError, Set1BiasOnlyRaisesBits) {
+  // With 100% SET1 faults, codes can only gain bits.
+  NetSnapshot clean = make_snapshot(20000, 8);
+  NetSnapshot pert = clean;
+  BitErrorConfig cfg;
+  cfg.p = 0.02;
+  cfg.flip_fraction = 0.0;
+  cfg.set1_fraction = 1.0;
+  inject_random_bit_errors(pert, cfg, 11);
+  long raised = 0, lowered = 0;
+  for (std::size_t i = 0; i < clean.tensors[0].codes.size(); ++i) {
+    const std::uint16_t c0 = clean.tensors[0].codes[i];
+    const std::uint16_t c1 = pert.tensors[0].codes[i];
+    raised += __builtin_popcount(c1 & ~c0);
+    lowered += __builtin_popcount(c0 & ~c1);
+  }
+  EXPECT_GT(raised, 0);
+  EXPECT_EQ(lowered, 0);
+}
+
+TEST(BitError, BiasedPresetMixesTypes) {
+  const BitErrorConfig cfg = BitErrorConfig::biased_set1(0.01);
+  EXPECT_NEAR(cfg.flip_fraction + cfg.set1_fraction + cfg.set0_fraction, 1.0,
+              1e-9);
+  // Sample fault types over many cells; SET1 must dominate.
+  long counts[3] = {};
+  for (int i = 0; i < 10000; ++i) {
+    counts[static_cast<int>(fault_type_at(cfg, 1, i, 0))]++;
+  }
+  EXPECT_GT(counts[1], counts[0]);  // SET1 > FLIP
+  EXPECT_GT(counts[1], counts[2]);  // SET1 > SET0
+}
+
+TEST(BitError, MultiTensorOffsetsDecorrelate) {
+  // Two tensors in a snapshot get disjoint weight-index ranges, so their
+  // error patterns differ even with identical values.
+  Rng rng(4);
+  std::vector<float> w(4000);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  NetSnapshot snap;
+  snap.tensors.push_back(quantize(w, QuantScheme::rquant(8)));
+  snap.offsets.push_back(0);
+  snap.tensors.push_back(quantize(w, QuantScheme::rquant(8)));
+  snap.offsets.push_back(4000);
+  NetSnapshot pert = snap;
+  BitErrorConfig cfg;
+  cfg.p = 0.01;
+  inject_random_bit_errors(pert, cfg, 21);
+  const auto diff0 = [&](std::size_t i) {
+    return snap.tensors[0].codes[i] ^ pert.tensors[0].codes[i];
+  };
+  const auto diff1 = [&](std::size_t i) {
+    return snap.tensors[1].codes[i] ^ pert.tensors[1].codes[i];
+  };
+  bool patterns_differ = false;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (diff0(i) != diff1(i)) patterns_differ = true;
+  }
+  EXPECT_TRUE(patterns_differ);
+}
+
+TEST(BitError, ChangedCountMatchesDiff) {
+  NetSnapshot clean = make_snapshot(10000, 8);
+  NetSnapshot pert = clean;
+  BitErrorConfig cfg;
+  cfg.p = 0.01;
+  const std::size_t changed = inject_random_bit_errors(pert, cfg, 9);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < clean.tensors[0].codes.size(); ++i) {
+    if (clean.tensors[0].codes[i] != pert.tensors[0].codes[i]) ++diff;
+  }
+  EXPECT_EQ(changed, diff);
+}
+
+}  // namespace
+}  // namespace ber

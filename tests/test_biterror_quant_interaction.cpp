@@ -1,0 +1,182 @@
+// Interaction of bit errors with quantization schemes — the error-magnitude
+// structure behind Fig. 4 and the robustness ordering of Tab. 1, pinned as
+// analytic invariants rather than end-to-end training results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "biterror/injector.h"
+#include "core/rng.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+namespace {
+
+struct SchemeBits {
+  QuantScheme scheme;
+  const char* label;
+};
+
+class BitQuantInteraction
+    : public ::testing::TestWithParam<std::tuple<SchemeBits, int>> {
+ protected:
+  QuantScheme scheme() const {
+    QuantScheme s = std::get<0>(GetParam()).scheme;
+    s.bits = std::get<1>(GetParam());
+    return s;
+  }
+};
+
+// Flipping bit j changes the decoded value by at most 2^j * step — the
+// geometric error ladder that makes MSB flips the catastrophic ones.
+TEST_P(BitQuantInteraction, BitPositionErrorLadder) {
+  const QuantScheme s = scheme();
+  Rng rng(11);
+  std::vector<float> w(256);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-0.7, 0.7));
+  const QuantizedTensor qt = quantize(w, s);
+  const float range = qt.range.qmax - qt.range.qmin;
+  const float step = s.asymmetric ? quant_delta(s, qt.range) * range * 0.5f
+                                  : quant_delta(s, qt.range);
+  for (std::size_t i = 0; i < w.size(); i += 16) {
+    const float base = decode_code(qt.codes[i], s, qt.range);
+    for (int j = 0; j < s.bits; ++j) {
+      const float flipped = decode_code(
+          static_cast<std::uint16_t>(qt.codes[i] ^ (1u << j)), s, qt.range);
+      const float magnitude = std::abs(flipped - base);
+      // Exactly 2^j steps for unsigned codes and for non-sign bits of signed
+      // codes; the signed sign bit wraps by 2^bits - 2^(bits-1) steps which
+      // is also 2^(bits-1). Allow float slack.
+      EXPECT_NEAR(magnitude, step * static_cast<float>(1u << j),
+                  step * 0.01f + 1e-6f)
+          << std::get<0>(GetParam()).label << " bit " << j;
+    }
+  }
+}
+
+// The maximum possible single-flip damage equals half the representable
+// range (MSB), i.e. bit errors can never throw a weight further than the
+// quantization range itself — the containment that makes per-layer ranges
+// (Tab. 1) so much safer than one global range.
+TEST_P(BitQuantInteraction, SingleFlipDamageBounded) {
+  const QuantScheme s = scheme();
+  Rng rng(12);
+  std::vector<float> w(512);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const QuantizedTensor qt = quantize(w, s);
+  const float range = qt.range.qmax - qt.range.qmin;
+  for (std::size_t i = 0; i < w.size(); i += 8) {
+    const float base = decode_code(qt.codes[i], s, qt.range);
+    for (int j = 0; j < s.bits; ++j) {
+      const float flipped = decode_code(
+          static_cast<std::uint16_t>(qt.codes[i] ^ (1u << j)), s, qt.range);
+      EXPECT_LE(std::abs(flipped - base), range * 1.02f + 1e-5f);
+    }
+  }
+}
+
+// Under BErr_p, the MEAN absolute weight error grows linearly in p (each
+// bit flips independently), which is what makes RErr manageable at small p.
+TEST_P(BitQuantInteraction, MeanAbsErrorLinearInP) {
+  const QuantScheme s = scheme();
+  Rng rng(13);
+  std::vector<float> w(20000);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  NetSnapshot base;
+  base.tensors.push_back(quantize(w, s));
+  base.offsets.push_back(0);
+
+  auto mean_abs_error = [&](double p) {
+    NetSnapshot pert = base;
+    BitErrorConfig cfg;
+    cfg.p = p;
+    inject_random_bit_errors(pert, cfg, /*chip=*/3);
+    std::vector<float> wc(w.size()), wp(w.size());
+    dequantize(base.tensors[0], wc);
+    dequantize(pert.tensors[0], wp);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) acc += std::abs(wp[i] - wc[i]);
+    return acc / w.size();
+  };
+  const double e1 = mean_abs_error(0.002);
+  const double e4 = mean_abs_error(0.008);
+  ASSERT_GT(e1, 0.0);
+  EXPECT_NEAR(e4 / e1, 4.0, 1.2) << std::get<0>(GetParam()).label;
+}
+
+// Shrinking the weight range (what clipping does) shrinks the ABSOLUTE bit
+// error damage proportionally, while the RELATIVE damage stays put — the
+// paper's Sec. 4.2 scale argument, in one assertion.
+TEST_P(BitQuantInteraction, RangeShrinkScalesAbsoluteNotRelativeError) {
+  const QuantScheme s = scheme();
+  Rng rng(14);
+  std::vector<float> wide(4000), narrow(4000);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+    narrow[i] = wide[i] * 0.2f;  // "clipped" copy
+  }
+  auto damage = [&](std::vector<float>& values) {
+    NetSnapshot snap;
+    snap.tensors.push_back(quantize(values, s));
+    snap.offsets.push_back(0);
+    NetSnapshot pert = snap;
+    BitErrorConfig cfg;
+    cfg.p = 0.01;
+    inject_random_bit_errors(pert, cfg, 5);
+    std::vector<float> wc(values.size()), wp(values.size());
+    dequantize(snap.tensors[0], wc);
+    dequantize(pert.tensors[0], wp);
+    double abs_err = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      abs_err += std::abs(wp[i] - wc[i]);
+    }
+    const double range = snap.tensors[0].range.qmax - snap.tensors[0].range.qmin;
+    return std::pair<double, double>{abs_err / values.size(),
+                                     abs_err / values.size() / range};
+  };
+  const auto [abs_wide, rel_wide] = damage(wide);
+  const auto [abs_narrow, rel_narrow] = damage(narrow);
+  EXPECT_NEAR(abs_narrow / abs_wide, 0.2, 0.05);  // absolute shrinks 5x
+  EXPECT_NEAR(rel_narrow / rel_wide, 1.0, 0.15);  // relative unchanged
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BitQuantInteraction,
+    ::testing::Combine(
+        ::testing::Values(
+            SchemeBits{QuantScheme::symmetric_rounded(), "sym-signed"},
+            SchemeBits{QuantScheme::rquant(), "rquant"}),
+        ::testing::Values(4, 8, 12)));
+
+// The global-vs-per-tensor containment (Tab. 1 row 1 vs 2) at the pure
+// weight level: with one global range, a small tensor's weights suffer MSB
+// errors sized by the LARGEST tensor's range.
+TEST(BitQuantGlobal, GlobalRangeAmplifiesSmallTensorErrors) {
+  Rng rng(15);
+  std::vector<float> small(1000), large(1000);
+  for (auto& v : small) v = static_cast<float>(rng.uniform(-0.05, 0.05));
+  for (auto& v : large) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const QuantScheme per = QuantScheme::symmetric_rounded(8);
+  // Global range must cover the large tensor.
+  const QuantRange global{-1.0f, 1.0f};
+
+  // MSB flip damage on the small tensor under each policy.
+  auto msb_damage = [&](const QuantRange& range) {
+    const QuantizedTensor qt = quantize(small, per, range);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      const float base = decode_code(qt.codes[i], per, range);
+      const float flipped = decode_code(
+          static_cast<std::uint16_t>(qt.codes[i] ^ (1u << 7)), per, range);
+      acc += std::abs(flipped - base);
+    }
+    return acc / small.size();
+  };
+  const double damage_per_tensor = msb_damage(compute_range(small, per));
+  const double damage_global = msb_damage(global);
+  EXPECT_GT(damage_global, 10.0 * damage_per_tensor);
+}
+
+}  // namespace
+}  // namespace ber

@@ -1,0 +1,131 @@
+// SECDED ECC tests: correction/detection guarantees over all bit positions
+// and the paper's 13.5% multi-error probability at p = 1%.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ecc/secded.h"
+
+namespace ber {
+namespace {
+
+TEST(Secded, CleanRoundTrip) {
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t data = rng.next_u64();
+    const SecdedWord w = secded_encode(data);
+    const SecdedResult r = secded_decode(w);
+    EXPECT_EQ(r.status, SecdedStatus::kClean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST(Secded, CorrectsEverySingleBitPosition) {
+  Rng rng(2);
+  for (int bit = 0; bit < 72; ++bit) {
+    const std::uint64_t data = rng.next_u64();
+    SecdedWord w = secded_encode(data);
+    secded_flip(w, bit);
+    const SecdedResult r = secded_decode(w);
+    EXPECT_EQ(r.status, SecdedStatus::kCorrectedSingle) << "bit " << bit;
+    EXPECT_EQ(r.data, data) << "bit " << bit;
+  }
+}
+
+TEST(Secded, DetectsButCannotCorrectDoubleErrors) {
+  Rng rng(3);
+  int detected = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t data = rng.next_u64();
+    SecdedWord w = secded_encode(data);
+    const int b1 = rng.uniform_int(0, 71);
+    int b2 = rng.uniform_int(0, 71);
+    while (b2 == b1) b2 = rng.uniform_int(0, 71);
+    secded_flip(w, b1);
+    secded_flip(w, b2);
+    const SecdedResult r = secded_decode(w);
+    if (r.status == SecdedStatus::kDetectedDouble) ++detected;
+    // A double error must never be reported as clean or silently
+    // "corrected" back to valid data that differs from the original.
+    EXPECT_NE(r.status, SecdedStatus::kClean);
+    EXPECT_NE(r.status, SecdedStatus::kCorrectedSingle);
+  }
+  EXPECT_EQ(detected, trials);  // SECDED guarantee: all doubles detected
+}
+
+TEST(Secded, TripleErrorsCanEscape) {
+  // With three errors the decoder may miscorrect — that is exactly the
+  // failure mode that makes ECC insufficient at high p. We only require it
+  // not to crash and to produce SOME status.
+  Rng rng(4);
+  int silent_or_miscorrected = 0;
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t data = rng.next_u64();
+    SecdedWord w = secded_encode(data);
+    int bits[3];
+    bits[0] = rng.uniform_int(0, 71);
+    do { bits[1] = rng.uniform_int(0, 71); } while (bits[1] == bits[0]);
+    do {
+      bits[2] = rng.uniform_int(0, 71);
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    for (int b : bits) secded_flip(w, b);
+    const SecdedResult r = secded_decode(w);
+    if (r.status == SecdedStatus::kCorrectedSingle && r.data != data) {
+      ++silent_or_miscorrected;
+    }
+  }
+  EXPECT_GT(silent_or_miscorrected, 0);  // miscorrection really happens
+}
+
+TEST(Secded, FlipIsInvolution) {
+  SecdedWord w = secded_encode(0x123456789ABCDEFULL);
+  const SecdedWord orig = w;
+  for (int bit : {0, 17, 63, 64, 71}) {
+    secded_flip(w, bit);
+    secded_flip(w, bit);
+  }
+  EXPECT_EQ(w.data, orig.data);
+  EXPECT_EQ(w.check, orig.check);
+  EXPECT_THROW(secded_flip(w, 72), std::invalid_argument);
+}
+
+TEST(Secded, PaperUncorrectableProbability) {
+  // Intro: "for p = 1%, the probability of two or more bit errors in a
+  // 64-bit word is 13.5%".
+  EXPECT_NEAR(secded_uncorrectable_probability(0.01, 64), 0.135, 0.002);
+  // Over the full 72-bit codeword it is slightly higher.
+  EXPECT_GT(secded_uncorrectable_probability(0.01, 72),
+            secded_uncorrectable_probability(0.01, 64));
+}
+
+TEST(Secded, UncorrectableProbabilityMonotoneInP) {
+  double prev = 0.0;
+  for (double p : {0.0001, 0.001, 0.01, 0.05}) {
+    const double q = secded_uncorrectable_probability(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+  EXPECT_EQ(secded_uncorrectable_probability(0.0), 0.0);
+  EXPECT_THROW(secded_uncorrectable_probability(-0.1), std::invalid_argument);
+}
+
+TEST(Secded, EmpiricalWordFailureMatchesAnalytic) {
+  // Inject i.i.d. bit errors at p over many codewords; the fraction with
+  // >= 2 flipped bits must match the analytic formula.
+  Rng rng(5);
+  const double p = 0.01;
+  const int words = 20000;
+  int multi = 0;
+  for (int w = 0; w < words; ++w) {
+    int flips = 0;
+    for (int b = 0; b < 72; ++b) {
+      if (rng.bernoulli(p)) ++flips;
+    }
+    if (flips >= 2) ++multi;
+  }
+  EXPECT_NEAR(static_cast<double>(multi) / words,
+              secded_uncorrectable_probability(p, 72), 0.01);
+}
+
+}  // namespace
+}  // namespace ber

@@ -1,0 +1,67 @@
+// SRAM energy/voltage model tests (Fig. 1 calibration and the paper's
+// headline savings numbers).
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace ber {
+namespace {
+
+TEST(Energy, RateAnchors) {
+  SramEnergyModel m;
+  EXPECT_NEAR(m.bit_error_rate(1.0), 1e-6, 1e-9);          // ~1e-4 %
+  EXPECT_NEAR(m.bit_error_rate(0.75), 0.2, 0.12);          // ~20 %
+  EXPECT_EQ(m.bit_error_rate(1.1), 1e-6);                  // >= Vmin
+}
+
+TEST(Energy, RateMonotoneDecreasingInVoltage) {
+  SramEnergyModel m;
+  double prev = 1.0;
+  for (double v = 0.75; v <= 1.0; v += 0.01) {
+    const double p = m.bit_error_rate(v);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(Energy, VoltageRateInverseRoundTrip) {
+  SramEnergyModel m;
+  for (double p : {1e-5, 1e-4, 1e-3, 1e-2, 0.1}) {
+    const double v = m.voltage_for_rate(p);
+    EXPECT_NEAR(m.bit_error_rate(v), p, p * 0.01);
+  }
+  EXPECT_EQ(m.voltage_for_rate(1e-9), 1.0);  // below p0 -> Vmin
+}
+
+TEST(Energy, EnergyNormalizedAtVmin) {
+  SramEnergyModel m;
+  EXPECT_NEAR(m.energy_per_access(1.0), 1.0, 1e-9);
+  EXPECT_LT(m.energy_per_access(0.8), 1.0);
+  EXPECT_GT(m.energy_per_access(0.8), 0.5);
+}
+
+TEST(Energy, PaperHeadlineSavings) {
+  // Paper: robustness to p = 1% allows ~30% SRAM energy saving; p ~ 0.1%
+  // allows ~20%.
+  SramEnergyModel m;
+  EXPECT_NEAR(m.energy_saving_at_rate(0.01), 0.30, 0.04);
+  EXPECT_NEAR(m.energy_saving_at_rate(0.001), 0.22, 0.04);
+}
+
+TEST(Energy, SavingsMonotoneInTolerableRate) {
+  SramEnergyModel m;
+  double prev = 0.0;
+  for (double p : {1e-5, 1e-4, 1e-3, 1e-2, 0.05}) {
+    const double s = m.energy_saving_at_rate(p);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Energy, RateClampedAtHalf) {
+  SramEnergyModel m;
+  EXPECT_LE(m.bit_error_rate(0.1), 0.5);
+}
+
+}  // namespace
+}  // namespace ber

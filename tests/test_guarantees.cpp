@@ -1,0 +1,64 @@
+// Proposition 1 (App. C.2) guarantee tests, pinned against the paper's own
+// worked numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/guarantees.h"
+
+namespace ber {
+namespace {
+
+TEST(Prop1, PaperWorkedExampleTenThousand) {
+  // n = 1e4 test examples, l = 1e6 patterns, delta = 0.01 -> eps ~ 4.1%.
+  EXPECT_NEAR(prop1_epsilon(10000, 1000000, 0.01), 0.041, 0.001);
+}
+
+TEST(Prop1, PaperWorkedExampleHundredThousand) {
+  // n = 1e5 -> eps ~ 1.7%.
+  EXPECT_NEAR(prop1_epsilon(100000, 1000000, 0.01), 0.017, 0.001);
+}
+
+TEST(Prop1, MoreSamplesTightenTheBound) {
+  const double e1 = prop1_epsilon(1000, 1000, 0.01);
+  const double e2 = prop1_epsilon(10000, 1000, 0.01);
+  const double e3 = prop1_epsilon(10000, 100000, 0.01);
+  EXPECT_LT(e2, e1);
+  EXPECT_LT(e3, e2);
+}
+
+TEST(Prop1, SmallerDeltaWidensTheBound) {
+  EXPECT_GT(prop1_epsilon(10000, 10000, 0.001),
+            prop1_epsilon(10000, 10000, 0.1));
+}
+
+TEST(Prop1, TailProbabilityInverseConsistency) {
+  // Plugging eps(n, l, delta) back into the tail bound returns ~delta.
+  const long n = 20000, l = 50000;
+  const double delta = 0.05;
+  const double eps = prop1_epsilon(n, l, delta);
+  EXPECT_NEAR(prop1_tail_probability(n, l, eps), delta, delta * 0.01);
+}
+
+TEST(Prop1, TailMonotoneInEps) {
+  EXPECT_GT(prop1_tail_probability(1000, 1000, 0.01),
+            prop1_tail_probability(1000, 1000, 0.05));
+}
+
+TEST(Prop1, InvalidArgumentsThrow) {
+  EXPECT_THROW(prop1_epsilon(0, 10, 0.1), std::invalid_argument);
+  EXPECT_THROW(prop1_epsilon(10, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(prop1_epsilon(10, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(prop1_epsilon(10, 10, 1.0), std::invalid_argument);
+  EXPECT_THROW(prop1_tail_probability(10, 10, 0.0), std::invalid_argument);
+}
+
+TEST(Prop1, LargePatternCountLimit) {
+  // As l -> inf the factor (sqrt(l)+sqrt(n))/sqrt(l) -> 1.
+  const double e_inf = prop1_epsilon(10000, 2000000000L, 0.01);
+  const double base = std::sqrt(std::log(10001.0 / 0.01) / 10000.0);
+  EXPECT_NEAR(e_inf, base, 0.001);
+}
+
+}  // namespace
+}  // namespace ber

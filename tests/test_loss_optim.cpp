@@ -1,0 +1,156 @@
+// Cross-entropy loss (incl. label smoothing) and SGD/schedule tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace ber {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogK) {
+  Tensor logits = Tensor::zeros({4, 10});
+  std::vector<int> labels{0, 1, 2, 3};
+  const LossStats s = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(s.loss, std::log(10.0f), 1e-5f);
+  EXPECT_NEAR(s.confidence, 0.1, 1e-6);
+}
+
+TEST(Loss, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::zeros({2, 3});
+  logits.at(0, 1) = 20.0f;
+  logits.at(1, 2) = 20.0f;
+  std::vector<int> labels{1, 2};
+  const LossStats s = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(s.loss, 1e-4f);
+  EXPECT_EQ(s.correct, 2);
+  EXPECT_GT(s.confidence, 0.999);
+}
+
+TEST(Loss, GradientRowsSumToZero) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({5, 7}, rng, 2.0f);
+  std::vector<int> labels{0, 1, 2, 3, 4};
+  const LossStats s = softmax_cross_entropy(logits, labels);
+  for (long r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (long c = 0; c < 7; ++c) sum += s.grad_logits.at(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<int> labels{1, 0, 4};
+  const LossStats s = softmax_cross_entropy(logits, labels, 0.1f);
+  const double eps = 1e-3;
+  for (long i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const float fp = softmax_cross_entropy(lp, labels, 0.1f).loss;
+    const float fm = softmax_cross_entropy(lm, labels, 0.1f).loss;
+    EXPECT_NEAR(s.grad_logits[i], (fp - fm) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Loss, LabelSmoothingRaisesMinimumLoss) {
+  // With smoothing, even a perfect prediction keeps positive loss.
+  Tensor logits = Tensor::zeros({1, 10});
+  logits.at(0, 0) = 30.0f;
+  std::vector<int> labels{0};
+  const LossStats plain = softmax_cross_entropy(logits, labels, 0.0f);
+  const LossStats smooth = softmax_cross_entropy(logits, labels, 0.1f);
+  EXPECT_LT(plain.loss, 1e-4f);
+  EXPECT_GT(smooth.loss, 0.2f);
+}
+
+TEST(Loss, SmoothingOptimumIsSoftTarget) {
+  // The smoothed loss at the soft-target distribution has zero gradient.
+  const int k = 10;
+  const float s = 0.1f;
+  Tensor logits({1, k});
+  // logits proportional to log target reproduce the target as softmax.
+  for (int c = 0; c < k; ++c) {
+    const float target = c == 0 ? 1.0f - s : s / (k - 1);
+    logits.at(0, c) = std::log(target);
+  }
+  std::vector<int> labels{0};
+  const LossStats stats = softmax_cross_entropy(logits, labels, s);
+  for (int c = 0; c < k; ++c) EXPECT_NEAR(stats.grad_logits.at(0, c), 0.0f, 1e-6f);
+}
+
+TEST(Loss, LabelCountMismatchThrows) {
+  Tensor logits = Tensor::zeros({2, 3});
+  std::vector<int> labels{0};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels), std::invalid_argument);
+}
+
+TEST(Sgd, PlainStep) {
+  Linear lin(1, 1, /*bias=*/false);
+  Param* p = lin.params()[0];
+  p->value[0] = 1.0f;
+  p->grad[0] = 0.5f;
+  Sgd opt({p}, {/*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.0f});
+  opt.step();
+  EXPECT_NEAR(p->value[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Linear lin(1, 1, false);
+  Param* p = lin.params()[0];
+  p->value[0] = 2.0f;
+  p->grad[0] = 0.0f;
+  Sgd opt({p}, {0.1f, 0.0f, 0.5f});
+  opt.step();
+  // v = 0 + (0 + 0.5*2) = 1; w = 2 - 0.1*1 = 1.9
+  EXPECT_NEAR(p->value[0], 1.9f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Linear lin(1, 1, false);
+  Param* p = lin.params()[0];
+  p->value[0] = 0.0f;
+  Sgd opt({p}, {1.0f, 0.9f, 0.0f});
+  p->grad[0] = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(p->value[0], -1.0f, 1e-6f);
+  p->grad[0] = 1.0f;
+  opt.step();  // v=1.9, w=-2.9
+  EXPECT_NEAR(p->value[0], -2.9f, 1e-6f);
+}
+
+TEST(Sgd, LrUpdate) {
+  Linear lin(1, 1, false);
+  Param* p = lin.params()[0];
+  Sgd opt({p}, {0.5f, 0.0f, 0.0f});
+  opt.set_lr(0.01f);
+  EXPECT_EQ(opt.lr(), 0.01f);
+}
+
+TEST(MultiStepLrTest, WarmupRampsLinearly) {
+  MultiStepLr sched{0.1f, 0.1f, /*warmup_epochs=*/4};
+  const int total = 100;
+  EXPECT_NEAR(sched.at(0, total), 0.025f, 1e-7f);
+  EXPECT_NEAR(sched.at(1, total), 0.05f, 1e-7f);
+  EXPECT_NEAR(sched.at(3, total), 0.1f, 1e-7f);
+  EXPECT_NEAR(sched.at(4, total), 0.1f, 1e-7f);  // post-warmup = base
+  EXPECT_NEAR(sched.at(40, total), 0.01f, 1e-7f);
+}
+
+TEST(MultiStepLrTest, PaperSchedule) {
+  MultiStepLr sched{0.05f, 0.1f};
+  const int total = 100;
+  EXPECT_NEAR(sched.at(0, total), 0.05f, 1e-7f);
+  EXPECT_NEAR(sched.at(39, total), 0.05f, 1e-7f);
+  EXPECT_NEAR(sched.at(40, total), 0.005f, 1e-7f);   // 2/5
+  EXPECT_NEAR(sched.at(60, total), 0.0005f, 1e-7f);  // 3/5
+  EXPECT_NEAR(sched.at(80, total), 0.00005f, 1e-8f); // 4/5
+}
+
+}  // namespace
+}  // namespace ber

@@ -1,0 +1,121 @@
+// Model factory tests: shapes, parameter counts, norm selection (Tab. 6
+// inventory equivalents).
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "models/factory.h"
+#include "nn/init.h"
+#include "nn/norm.h"
+
+namespace ber {
+namespace {
+
+TEST(Models, SimpleNetForwardShape) {
+  ModelConfig mc;
+  auto model = build_model(mc);
+  Rng rng(1);
+  he_init(*model, rng);
+  Tensor y = model->forward(Tensor::randn({2, 3, 12, 12}, rng), false);
+  EXPECT_EQ(y.shape(), (std::vector<long>{2, 10}));
+}
+
+TEST(Models, SimpleNetRejectsBadImageSize) {
+  ModelConfig mc;
+  mc.image_size = 10;  // not divisible by 4
+  EXPECT_THROW(build_model(mc), std::invalid_argument);
+}
+
+TEST(Models, ResNetForwardShape) {
+  ModelConfig mc;
+  mc.arch = Arch::kResNetSmall;
+  auto model = build_model(mc);
+  Rng rng(2);
+  he_init(*model, rng);
+  Tensor y = model->forward(Tensor::randn({2, 3, 12, 12}, rng), false);
+  EXPECT_EQ(y.shape(), (std::vector<long>{2, 10}));
+}
+
+TEST(Models, MlpForwardShape) {
+  ModelConfig mc;
+  mc.arch = Arch::kMlp;
+  mc.in_channels = 1;
+  auto model = build_model(mc);
+  Rng rng(3);
+  he_init(*model, rng);
+  Tensor y = model->forward(Tensor::randn({4, 1, 12, 12}, rng), false);
+  EXPECT_EQ(y.shape(), (std::vector<long>{4, 10}));
+}
+
+TEST(Models, WeightCountsScaleWithWidth) {
+  ModelConfig narrow, wide;
+  narrow.width = 8;
+  wide.width = 16;
+  auto a = build_model(narrow);
+  auto b = build_model(wide);
+  EXPECT_GT(b->num_weights(), 2 * a->num_weights());
+}
+
+TEST(Models, NormKindSelectsLayers) {
+  ModelConfig gn, bn, none;
+  gn.norm = NormKind::kGroupNorm;
+  bn.norm = NormKind::kBatchNorm;
+  none.norm = NormKind::kNone;
+  auto count_layers = [](Sequential& m, auto pred) {
+    int n = 0;
+    m.visit([&](Layer& l) {
+      if (pred(l)) ++n;
+    });
+    return n;
+  };
+  auto gm = build_model(gn);
+  auto bm = build_model(bn);
+  auto nm = build_model(none);
+  EXPECT_GT(count_layers(*gm, [](Layer& l) {
+    return dynamic_cast<GroupNorm*>(&l) != nullptr;
+  }), 0);
+  EXPECT_GT(count_layers(*bm, [](Layer& l) {
+    return dynamic_cast<BatchNorm2d*>(&l) != nullptr;
+  }), 0);
+  EXPECT_EQ(count_layers(*nm, [](Layer& l) {
+    return dynamic_cast<GroupNorm*>(&l) != nullptr ||
+           dynamic_cast<BatchNorm2d*>(&l) != nullptr;
+  }), 0);
+}
+
+TEST(Models, SignaturesDistinguishArchitectures) {
+  ModelConfig a, b;
+  b.arch = Arch::kResNetSmall;
+  auto ma = build_model(a);
+  auto mb = build_model(b);
+  EXPECT_NE(ma->signature(), mb->signature());
+}
+
+TEST(Models, GrayscaleInput) {
+  ModelConfig mc;
+  mc.in_channels = 1;
+  auto model = build_model(mc);
+  Rng rng(4);
+  he_init(*model, rng);
+  Tensor y = model->forward(Tensor::randn({1, 1, 12, 12}, rng), false);
+  EXPECT_EQ(y.shape(), (std::vector<long>{1, 10}));
+}
+
+TEST(Models, NamesAreHumanReadable) {
+  EXPECT_STREQ(arch_name(Arch::kSimpleNet), "SimpleNet");
+  EXPECT_STREQ(arch_name(Arch::kResNetSmall), "ResNetSmall");
+  EXPECT_STREQ(norm_name(NormKind::kGroupNorm), "GN");
+  EXPECT_STREQ(norm_name(NormKind::kBatchNorm), "BN");
+}
+
+TEST(Models, TwentyClassHead) {
+  ModelConfig mc;
+  mc.num_classes = 20;
+  auto model = build_model(mc);
+  Rng rng(5);
+  he_init(*model, rng);
+  Tensor y = model->forward(Tensor::randn({1, 3, 12, 12}, rng), false);
+  EXPECT_EQ(y.shape(1), 20);
+}
+
+}  // namespace
+}  // namespace ber

@@ -1,0 +1,169 @@
+// Synthetic profiled chip tests: voltage persistence, spatial column
+// alignment, flip-direction bias, mapping offsets (Fig. 3 / Fig. 8 / Tab. 5
+// structure).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "biterror/profiled_chip.h"
+#include "core/rng.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+namespace {
+
+NetSnapshot make_snapshot(std::size_t n_weights, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> w(n_weights);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  NetSnapshot snap;
+  snap.tensors.push_back(quantize(w, QuantScheme::rquant(8)));
+  snap.offsets.push_back(0);
+  return snap;
+}
+
+TEST(ProfiledChip, RateMonotoneInVoltage) {
+  ProfiledChip chip(ProfiledChipConfig::chip1());
+  double prev = 1.0;
+  for (double v : {0.80, 0.85, 0.90, 0.95, 1.00}) {
+    const double r = chip.error_rate_at(v);
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+  EXPECT_GT(chip.error_rate_at(0.80), chip.error_rate_at(0.95));
+}
+
+TEST(ProfiledChip, MeasuredRateTracksModel) {
+  // Without vulnerable columns the measured rate matches the base curve.
+  ProfiledChipConfig cfg = ProfiledChipConfig::chip1();
+  cfg.vulnerable_column_fraction = 0.0;
+  ProfiledChip chip(cfg);
+  for (double v : {0.82, 0.86, 0.90}) {
+    const double model = chip.model_rate_at(v);
+    const double measured = chip.error_rate_at(v);
+    EXPECT_NEAR(measured, model, 5.0 * std::sqrt(model / chip.num_cells()) + 1e-4);
+  }
+}
+
+TEST(ProfiledChip, VulnerableColumnsRaiseMeasuredRate) {
+  ProfiledChipConfig boosted = ProfiledChipConfig::chip2();
+  ProfiledChip chip(boosted);
+  const double v = 0.84;
+  // Expected inflation: 1 - f + f * boost.
+  const double factor = 1.0 - boosted.vulnerable_column_fraction +
+                        boosted.vulnerable_column_fraction * boosted.column_boost;
+  EXPECT_NEAR(chip.error_rate_at(v), chip.model_rate_at(v) * factor,
+              chip.model_rate_at(v) * factor * 0.5);
+  EXPECT_GT(chip.error_rate_at(v), 1.5 * chip.model_rate_at(v));
+}
+
+TEST(ProfiledChip, ColumnVulnerabilityFractionMatchesConfig) {
+  ProfiledChipConfig cfg = ProfiledChipConfig::chip2();
+  cfg.cols = 4096;
+  ProfiledChip chip(cfg);
+  long vulnerable = 0;
+  for (long c = 0; c < cfg.cols; ++c) vulnerable += chip.column_vulnerable(c);
+  EXPECT_NEAR(static_cast<double>(vulnerable) / cfg.cols,
+              cfg.vulnerable_column_fraction, 0.02);
+}
+
+TEST(ProfiledChip, FaultsPersistAcrossVoltage) {
+  // Cells faulty at the higher voltage stay faulty at the lower one.
+  ProfiledChip chip(ProfiledChipConfig::chip1());
+  const double v_hi = 0.90, v_lo = 0.84;
+  int checked = 0;
+  for (long r = 0; r < 256; ++r) {
+    for (long c = 0; c < chip.config().cols; ++c) {
+      if (chip.is_faulty(r, c, v_hi)) {
+        EXPECT_TRUE(chip.is_faulty(r, c, v_lo));
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ProfiledChip, ColumnCorrelationClusters) {
+  // Compare the variance of per-column fault counts: the column-correlated
+  // chip-2 map must be far more clustered than the i.i.d.-like chip 1.
+  auto column_variance = [](const ProfiledChip& chip, double v) {
+    const long rows = chip.config().rows, cols = chip.config().cols;
+    std::vector<long> per_col(static_cast<std::size_t>(cols), 0);
+    for (long r = 0; r < rows; ++r) {
+      for (long c = 0; c < cols; ++c) {
+        if (chip.is_faulty(r, c, v)) per_col[static_cast<std::size_t>(c)]++;
+      }
+    }
+    double mean = 0.0;
+    for (long c : per_col) mean += static_cast<double>(c);
+    mean /= cols;
+    double var = 0.0;
+    for (long c : per_col) var += (c - mean) * (c - mean);
+    return var / cols;
+  };
+  ProfiledChipConfig c1 = ProfiledChipConfig::chip1();
+  ProfiledChipConfig c2 = ProfiledChipConfig::chip2();
+  c1.rows = c2.rows = 1024;  // same geometry for a fair comparison
+  c1.vulnerable_column_fraction = 0.0;
+  ProfiledChip iid(c1), columned(c2);
+  const double v = 0.82;  // high enough rate for clear statistics
+  EXPECT_GT(column_variance(columned, v), 5.0 * column_variance(iid, v));
+}
+
+TEST(ProfiledChip, Chip2IsSetOneBiased) {
+  ProfiledChip chip(ProfiledChipConfig::chip2());
+  EXPECT_GT(chip.set1_share_at(0.85), 0.6);
+  ProfiledChip balanced(ProfiledChipConfig::chip1());
+  EXPECT_LT(balanced.set1_share_at(0.85), 0.2);
+}
+
+TEST(ProfiledChip, ApplyChangesCodesAtLowVoltage) {
+  ProfiledChip chip(ProfiledChipConfig::chip1());
+  NetSnapshot snap = make_snapshot(20000);
+  NetSnapshot pert = snap;
+  const std::size_t changed = chip.apply(pert, 0.85, 0);
+  EXPECT_GT(changed, 0u);
+  // At Vmin nothing happens (rate ~ p0).
+  NetSnapshot pert2 = snap;
+  const std::size_t changed2 = chip.apply(pert2, 1.0, 0);
+  EXPECT_LT(changed2, 5u);
+}
+
+TEST(ProfiledChip, OffsetsChangeThePattern) {
+  ProfiledChip chip(ProfiledChipConfig::chip1());
+  NetSnapshot snap = make_snapshot(20000);
+  NetSnapshot a = snap, b = snap;
+  chip.apply(a, 0.85, 0);
+  chip.apply(b, 0.85, 12345);
+  EXPECT_NE(a.tensors[0].codes, b.tensors[0].codes);
+}
+
+TEST(ProfiledChip, ApplyIsDeterministic) {
+  ProfiledChip chip(ProfiledChipConfig::chip3());
+  NetSnapshot snap = make_snapshot(10000);
+  NetSnapshot a = snap, b = snap;
+  chip.apply(a, 0.86, 64);
+  chip.apply(b, 0.86, 64);
+  EXPECT_EQ(a.tensors[0].codes, b.tensors[0].codes);
+}
+
+TEST(ProfiledChip, DifferentSeedsGiveDifferentChips) {
+  ProfiledChip a(ProfiledChipConfig::chip1(1));
+  ProfiledChip b(ProfiledChipConfig::chip1(2));
+  int diff = 0;
+  for (long r = 0; r < 128; ++r) {
+    for (long c = 0; c < a.config().cols; ++c) {
+      if (a.is_faulty(r, c, 0.85) != b.is_faulty(r, c, 0.85)) ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(ProfiledChip, EmptyGeometryThrows) {
+  ProfiledChipConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(ProfiledChip{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ber

@@ -1,0 +1,217 @@
+// Property-based sweeps over quantization schemes and precisions: roundtrip
+// error bounds, idempotence and net-level behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "models/factory.h"
+#include "nn/init.h"
+#include "quant/net_quantizer.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+namespace {
+
+struct SchemeCase {
+  QuantScheme scheme;
+  const char* label;
+};
+
+class QuantProperty
+    : public ::testing::TestWithParam<std::tuple<SchemeCase, int>> {};
+
+QuantScheme with_bits(QuantScheme s, int bits) {
+  s.bits = bits;
+  return s;
+}
+
+TEST_P(QuantProperty, RoundTripErrorBounded) {
+  const auto [sc, bits] = GetParam();
+  const QuantScheme scheme = with_bits(sc.scheme, bits);
+  Rng rng(bits * 31 + 7);
+  std::vector<float> w(3000);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-0.8, 0.6));
+
+  const QuantizedTensor qt = quantize(w, scheme);
+  std::vector<float> back(w.size());
+  dequantize(qt, back);
+
+  // Bound the per-weight error by the step size in the ORIGINAL domain:
+  // delta for symmetric schemes; delta * (range/2) after the N-transform.
+  const float range = qt.range.qmax - qt.range.qmin;
+  const float step = scheme.asymmetric
+                         ? quant_delta(scheme, qt.range) * range * 0.5f
+                         : quant_delta(scheme, qt.range);
+  const float bound = scheme.rounded ? 0.5f * step : step;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(back[i] - w[i]), bound * 1.001f)
+        << sc.label << " m=" << bits << " i=" << i;
+  }
+}
+
+TEST_P(QuantProperty, Idempotent) {
+  const auto [sc, bits] = GetParam();
+  const QuantScheme scheme = with_bits(sc.scheme, bits);
+  Rng rng(bits * 13 + 3);
+  std::vector<float> w(500);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const QuantizedTensor q1 = quantize(w, scheme);
+  std::vector<float> d1(w.size());
+  dequantize(q1, d1);
+  // Re-quantizing the dequantized values with the same range is the identity
+  // for ROUNDED schemes. Truncation is not idempotent in float arithmetic:
+  // a value epsilon below its grid point truncates one level down — one of
+  // the reasons the paper's RQUANT insists on proper rounding. For trunc we
+  // therefore only bound the drift to one level.
+  const QuantizedTensor q2 = quantize(d1, scheme, q1.range);
+  auto level = [&](std::uint16_t code) {
+    return static_cast<long>(
+        std::lround(decode_code(code, scheme, q1.range) / 1e-6f));
+  };
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (scheme.rounded) {
+      EXPECT_EQ(q1.codes[i], q2.codes[i]) << sc.label << " m=" << bits;
+    } else {
+      const float a = decode_code(q1.codes[i], scheme, q1.range);
+      const float b = decode_code(q2.codes[i], scheme, q1.range);
+      const float step = scheme.asymmetric
+                             ? quant_delta(scheme, q1.range) *
+                                   (q1.range.qmax - q1.range.qmin) * 0.5f
+                             : quant_delta(scheme, q1.range);
+      EXPECT_LE(std::abs(a - b), step * 1.001f) << sc.label << " m=" << bits;
+    }
+  }
+  (void)level;
+}
+
+TEST_P(QuantProperty, PreservesOrderOfValues) {
+  const auto [sc, bits] = GetParam();
+  const QuantScheme scheme = with_bits(sc.scheme, bits);
+  std::vector<float> w;
+  for (int i = 0; i < 10; ++i) w.push_back(-0.9f + 0.2f * i);
+  const QuantizedTensor qt = quantize(w, scheme);
+  std::vector<float> back(w.size());
+  dequantize(qt, back);
+  // Quantization never reorders: non-decreasing always; strictly increasing
+  // whenever the spacing exceeds two steps in the original domain.
+  const float step = scheme.asymmetric
+                         ? quant_delta(scheme, qt.range) *
+                               (qt.range.qmax - qt.range.qmin) * 0.5f
+                         : quant_delta(scheme, qt.range);
+  for (std::size_t i = 1; i < back.size(); ++i) {
+    EXPECT_LE(back[i - 1], back[i]) << sc.label << " m=" << bits;
+    if (0.2f > 2.0f * step) {
+      EXPECT_LT(back[i - 1], back[i]) << sc.label << " m=" << bits;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndBits, QuantProperty,
+    ::testing::Combine(
+        ::testing::Values(
+            SchemeCase{QuantScheme::normal(), "normal"},
+            SchemeCase{QuantScheme::symmetric_rounded(), "sym-round"},
+            SchemeCase{QuantScheme::rquant_trunc(), "rquant-trunc"},
+            SchemeCase{QuantScheme::rquant(), "rquant"},
+            SchemeCase{{8, RangeScope::kPerTensor, true, false, true},
+                       "asym-signed-round"}),
+        ::testing::Values(2, 3, 4, 6, 8, 12)));
+
+TEST(NetQuantizer, PerTensorRangesDiffer) {
+  ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.width = 4;
+  auto model = build_model(mc);
+  Rng rng(3);
+  he_init(*model, rng);
+  NetQuantizer q(QuantScheme::rquant(8));
+  const NetSnapshot snap = q.quantize(model->params());
+  EXPECT_EQ(snap.tensors.size(), model->params().size());
+  // At least two tensors should have different ranges (conv vs bias).
+  bool differ = false;
+  for (std::size_t i = 1; i < snap.tensors.size(); ++i) {
+    if (snap.tensors[i].range.qmax != snap.tensors[0].range.qmax) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(NetQuantizer, GlobalScopeSharesOneRange) {
+  ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.width = 4;
+  auto model = build_model(mc);
+  Rng rng(4);
+  he_init(*model, rng);
+  NetQuantizer q(QuantScheme::global_symmetric(8));
+  const NetSnapshot snap = q.quantize(model->params());
+  for (const auto& t : snap.tensors) {
+    EXPECT_EQ(t.range.qmax, snap.tensors[0].range.qmax);
+    EXPECT_EQ(t.range.qmin, snap.tensors[0].range.qmin);
+  }
+}
+
+TEST(NetQuantizer, OffsetsAreCumulative) {
+  ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.width = 4;
+  auto model = build_model(mc);
+  Rng rng(5);
+  he_init(*model, rng);
+  NetQuantizer q(QuantScheme::rquant(8));
+  const NetSnapshot snap = q.quantize(model->params());
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < snap.tensors.size(); ++i) {
+    EXPECT_EQ(snap.offsets[i], expect);
+    expect += snap.tensors[i].size();
+  }
+  EXPECT_EQ(snap.total_weights(), expect);
+  EXPECT_EQ(static_cast<long>(expect), model->num_weights());
+}
+
+TEST(NetQuantizer, WriteDequantizedRoundTrips) {
+  ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.width = 4;
+  auto model = build_model(mc);
+  Rng rng(6);
+  he_init(*model, rng);
+  const auto params = model->params();
+  WeightStash stash;
+  stash.save(params);
+
+  NetQuantizer q(QuantScheme::rquant(8));
+  const NetSnapshot snap = q.quantize(params);
+  q.write_dequantized(snap, params);
+  // All weights must now be within half a step of the originals.
+  // (Just verify they moved only slightly and stash restores exactly.)
+  q.write_dequantized(snap, params);  // idempotent write
+  stash.restore(params);
+  // After restore, re-quantizing gives the identical snapshot.
+  const NetSnapshot snap2 = q.quantize(params);
+  for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
+    EXPECT_EQ(snap.tensors[t].codes, snap2.tensors[t].codes);
+  }
+}
+
+TEST(WeightStashTest, RestoreMismatchThrows) {
+  ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.width = 4;
+  auto model = build_model(mc);
+  WeightStash stash;
+  stash.save(model->params());
+  std::vector<Param*> fewer(model->params());
+  fewer.pop_back();
+  EXPECT_THROW(stash.restore(fewer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ber

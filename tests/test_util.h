@@ -1,0 +1,67 @@
+// Shared test helpers: finite-difference gradient checking and tiny fixtures.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/rng.h"
+#include "nn/layer.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace ber::test {
+
+// Scalar loss used for gradient checks: weighted sum of outputs with fixed
+// pseudo-random weights, so every output element contributes.
+inline double probe_loss(const Tensor& y, const Tensor& probe) {
+  double s = 0.0;
+  for (long i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * probe[i];
+  return s;
+}
+
+// Checks d(probe_loss)/d(x) and d(probe_loss)/d(params) of `layer` against
+// central finite differences. Layers must be deterministic.
+inline void gradcheck_layer(Layer& layer, const Tensor& x, double tol = 2e-2,
+                            double eps = 1e-3) {
+  Rng rng(99);
+  Tensor y = layer.forward(x, /*training=*/true);
+  Tensor probe = Tensor::uniform(y.shape(), rng, -1.0f, 1.0f);
+
+  layer.zero_grad();
+  Tensor grad_in = layer.backward(probe);
+
+  // Input gradient.
+  Tensor xm = x;
+  for (long i = 0; i < x.numel(); ++i) {
+    const float orig = xm[i];
+    xm[i] = orig + static_cast<float>(eps);
+    const double lp = probe_loss(layer.forward(xm, false), probe);
+    xm[i] = orig - static_cast<float>(eps);
+    const double lm = probe_loss(layer.forward(xm, false), probe);
+    xm[i] = orig;
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], num, tol * std::max(1.0, std::abs(num)))
+        << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradients (subsample large tensors to keep tests fast).
+  for (Param* p : layer.params()) {
+    const long n = p->value.numel();
+    const long stride = std::max(1L, n / 24);
+    for (long i = 0; i < n; i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + static_cast<float>(eps);
+      const double lp = probe_loss(layer.forward(x, false), probe);
+      p->value[i] = orig - static_cast<float>(eps);
+      const double lm = probe_loss(layer.forward(x, false), probe);
+      p->value[i] = orig;
+      const double num = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * std::max(1.0, std::abs(num)))
+          << "param grad mismatch: " << p->name << "[" << i << "]";
+    }
+  }
+}
+
+}  // namespace ber::test
