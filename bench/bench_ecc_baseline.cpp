@@ -3,7 +3,7 @@
 // p = 1% the probability of >= 2 errors per word is ~13.5% — and those
 // uncorrectable words keep their flipped bits (plus occasional
 // miscorrection). RandBET needs no extra check bits at all.
-#include <cmath>
+#include <memory>
 
 #include "bench_util.h"
 #include "ecc/secded.h"
@@ -14,55 +14,29 @@ using namespace ber;
 using namespace ber::bench;
 
 // RErr of a zoo model whose 8-bit codes are packed into SECDED-protected
-// 64-bit words: bit errors hit the full 72-bit codeword; decode corrects
-// what it can before the weights are deployed.
-RobustResult rerr_with_secded(const std::string& name, double p, int chips) {
+// 64-bit words, across the whole p grid: bit errors hit the full 72-bit
+// codeword; decode corrects what it can before the weights are deployed.
+// `persistent` swaps the built-in i.i.d. Bernoulli source for the monotone
+// hash-addressed fault model of Sec. 3 (reaching data AND check bits) —
+// EccProtectedModel composed with RandomBitErrorModel.
+std::vector<RobustResult> secded_sweep(const std::string& name,
+                                       const std::vector<double>& grid,
+                                       int chips, bool persistent) {
   const zoo::Spec& s = zoo::spec(name);
   Sequential& model = zoo::get(name);
-  NetQuantizer quantizer(s.train_cfg.quant);
-  const NetSnapshot base = quantizer.quantize(model.params());
-
-  std::vector<float> errs, confs;
-  for (int chip = 0; chip < chips; ++chip) {
-    NetSnapshot snap = base;
-    Rng rng(hash_mix(7777, static_cast<std::uint64_t>(chip), 1));
-    // Pack 8 consecutive 8-bit codes per 64-bit data word, tensor by tensor.
-    for (auto& qt : snap.tensors) {
-      for (std::size_t w0 = 0; w0 < qt.codes.size(); w0 += 8) {
-        std::uint64_t data = 0;
-        const std::size_t count = std::min<std::size_t>(8, qt.codes.size() - w0);
-        for (std::size_t j = 0; j < count; ++j) {
-          data |= static_cast<std::uint64_t>(qt.codes[w0 + j] & 0xFF) << (8 * j);
-        }
-        SecdedWord word = secded_encode(data);
-        for (int bit = 0; bit < 72; ++bit) {
-          if (rng.bernoulli(p)) secded_flip(word, bit);
-        }
-        const SecdedResult decoded = secded_decode(word);
-        for (std::size_t j = 0; j < count; ++j) {
-          qt.codes[w0 + j] =
-              static_cast<std::uint16_t>((decoded.data >> (8 * j)) & 0xFF);
-        }
-      }
-    }
-    Sequential clone(model);
-    quantizer.write_dequantized(snap, clone.params());
-    const EvalResult r = evaluate(clone, zoo::rerr_set(s.dataset));
-    errs.push_back(r.error);
-    confs.push_back(r.confidence);
+  // One quantization serves every grid point.
+  RobustnessEvaluator evaluator(model, s.train_cfg.quant);
+  std::vector<RobustResult> out;
+  out.reserve(grid.size());
+  for (double p : grid) {
+    BitErrorConfig cfg;
+    cfg.p = p;
+    const EccProtectedModel fault =
+        persistent
+            ? EccProtectedModel(std::make_unique<RandomBitErrorModel>(cfg))
+            : EccProtectedModel(p);
+    out.push_back(evaluator.run(fault, zoo::rerr_set(s.dataset), chips));
   }
-  RobustResult out;
-  double sum = 0, sq = 0;
-  for (float e : errs) {
-    sum += e;
-    sq += static_cast<double>(e) * e;
-  }
-  out.per_chip = errs;
-  out.mean_rerr = static_cast<float>(sum / errs.size());
-  const double var =
-      std::max(0.0, sq / errs.size() - (sum / errs.size()) * (sum / errs.size()));
-  out.std_rerr = static_cast<float>(
-      std::sqrt(var * errs.size() / std::max<std::size_t>(1, errs.size() - 1)));
   return out;
 }
 
@@ -90,20 +64,33 @@ int main() {
   TablePrinter t(headers);
   {
     std::vector<std::string> row{"RQuant, no protection", "0%"};
-    for (double p : grid) row.push_back(fmt_rerr(rerr("c10_rquant", p)));
+    for (const RobustResult& r : rerr_sweep("c10_rquant", grid)) {
+      row.push_back(fmt_rerr(r));
+    }
     t.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"RQuant + SECDED(72,64)", "12.5%"};
-    for (double p : grid) {
-      row.push_back(fmt_rerr(rerr_with_secded("c10_rquant", p,
-                                              zoo::default_chips())));
+    for (const RobustResult& r :
+         secded_sweep("c10_rquant", grid, zoo::default_chips(), false)) {
+      row.push_back(fmt_rerr(r));
+    }
+    t.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"RQuant + SECDED, persistent faults",
+                                 "12.5%"};
+    for (const RobustResult& r :
+         secded_sweep("c10_rquant", grid, zoo::default_chips(), true)) {
+      row.push_back(fmt_rerr(r));
     }
     t.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"RandBET (no ECC)", "0%"};
-    for (double p : grid) row.push_back(fmt_rerr(rerr("c10_randbet015_p1", p)));
+    for (const RobustResult& r : rerr_sweep("c10_randbet015_p1", grid)) {
+      row.push_back(fmt_rerr(r));
+    }
     t.add_row(std::move(row));
   }
   t.print();

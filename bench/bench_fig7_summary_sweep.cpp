@@ -21,11 +21,16 @@ void sweep(const std::string& title,
   }
   TablePrinter t(headers);
   for (const auto& [label, names] : methods) {
+    // One fault sweep per model covers the whole grid; the method's number
+    // at each p is the best model's.
+    std::vector<std::vector<RobustResult>> per_model;
+    per_model.reserve(names.size());
+    for (const auto& name : names) per_model.push_back(rerr_sweep(name, grid));
     std::vector<std::string> row{label};
-    for (double p : grid) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
       double lo = 1e9;
-      for (const auto& name : names) {
-        lo = std::min(lo, 100.0 * rerr(name, p).mean_rerr);
+      for (const auto& results : per_model) {
+        lo = std::min(lo, 100.0 * results[i].mean_rerr);
       }
       row.push_back(TablePrinter::fmt(lo, 2));
     }

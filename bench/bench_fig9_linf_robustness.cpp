@@ -20,10 +20,12 @@ int main() {
   for (const auto& name : models) {
     const zoo::Spec& s = zoo::spec(name);
     Sequential& model = zoo::get(name);
+    // Float-space evaluator (no quantization), shared across the eps grid.
+    RobustnessEvaluator evaluator(model);
     std::vector<std::string> row{s.label};
     for (double e : eps_grid) {
-      const RobustResult r = linf_weight_noise_error(
-          model, zoo::rerr_set(s.dataset), e, zoo::default_chips());
+      const RobustResult r = evaluator.run(
+          LinfNoiseModel(e), zoo::rerr_set(s.dataset), zoo::default_chips());
       row.push_back(TablePrinter::fmt(100.0 * r.mean_rerr, 2));
     }
     t.add_row(std::move(row));

@@ -1,0 +1,88 @@
+// Injection-throughput microbenchmark for the random bit error hot path.
+//
+// Compares, at p in {1e-4, 1e-3, 1e-2}:
+//   * scalar  — the seed per-(weight,bit) scalar loop
+//     (inject_random_bit_errors_scalar), one hash per coordinate;
+//   * build   — constructing a ChipFaultList (the once-per-chip hash sweep);
+//   * apply   — applying a prebuilt ChipFaultList (the steady-state cost the
+//     evaluator pays per batch / voltage / rate of a trial).
+//
+// Emits a single JSON object on stdout so future PRs can track the hot path;
+// `apply_speedup_vs_scalar` is the acceptance number (>= 5x at p <= 1e-2).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "biterror/injector.h"
+#include "core/rng.h"
+#include "quant/quantizer.h"
+
+namespace {
+
+using namespace ber;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kWeights = 2'000'000;
+constexpr int kBits = 8;
+
+NetSnapshot make_snapshot() {
+  Rng rng(1);
+  std::vector<float> w(kWeights);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  NetSnapshot snap;
+  snap.tensors.push_back(quantize(w, QuantScheme::rquant(kBits)));
+  snap.offsets.push_back(0);
+  return snap;
+}
+
+// Runs fn repeatedly until ~0.3s elapsed (at least twice); returns seconds
+// per call.
+template <typename Fn>
+double seconds_per_call(const Fn& fn) {
+  fn();  // warm-up
+  int iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.3 || iters < 2);
+  return elapsed / iters;
+}
+
+}  // namespace
+
+int main() {
+  NetSnapshot snap = make_snapshot();
+  const double total_words = static_cast<double>(kWeights);
+
+  std::printf("{\"bench\":\"injection\",\"weights\":%zu,\"bits\":%d,"
+              "\"results\":[",
+              kWeights, kBits);
+  bool first = true;
+  for (double p : {1e-4, 1e-3, 1e-2}) {
+    BitErrorConfig cfg;
+    cfg.p = p;  // default flip-only mix: injection is an involution, so
+                // repeated in-place application is safe for timing.
+    const double scalar_sec = seconds_per_call(
+        [&] { inject_random_bit_errors_scalar(snap, cfg, /*chip=*/7); });
+    const double build_sec = seconds_per_call(
+        [&] { ChipFaultList list(snap, cfg, /*chip_seed=*/7, p); });
+    const ChipFaultList list(snap, cfg, 7, p);
+    const double apply_sec = seconds_per_call([&] { list.apply(snap, p); });
+
+    std::printf(
+        "%s{\"p\":%g,\"faults\":%zu,"
+        "\"scalar_words_per_sec\":%.3e,"
+        "\"build_words_per_sec\":%.3e,"
+        "\"apply_words_per_sec\":%.3e,"
+        "\"apply_speedup_vs_scalar\":%.1f}",
+        first ? "" : ",", p, list.size(), total_words / scalar_sec,
+        total_words / build_sec, total_words / apply_sec,
+        scalar_sec / apply_sec);
+    first = false;
+  }
+  std::printf("]}\n");
+  return 0;
+}

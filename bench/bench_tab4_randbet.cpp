@@ -22,7 +22,10 @@ int main() {
   auto add = [&](const std::string& name) {
     std::vector<std::string> row{zoo::spec(name).label,
                                  TablePrinter::fmt(clean_err_pct(name), 2)};
-    for (double p : grid) row.push_back(fmt_rerr(rerr(name, p)));
+    // One quantization + one fault sweep per model covers the whole p grid.
+    for (const RobustResult& r : rerr_sweep(name, grid)) {
+      row.push_back(fmt_rerr(r));
+    }
     t.add_row(std::move(row));
   };
   for (const auto& name : m8) add(name);

@@ -33,11 +33,12 @@ int main() {
     for (const auto& name : models) {
       const zoo::Spec& s = zoo::spec(name);
       Sequential& model = zoo::get(name);
+      // Quantize once per model; reuse the snapshot for every voltage.
+      RobustnessEvaluator evaluator(model, s.train_cfg.quant);
       std::vector<std::string> row{s.label};
       for (double v : voltages) {
-        const RobustResult r = robust_error_profiled(
-            model, s.train_cfg.quant, zoo::rerr_set(s.dataset), chip, v,
-            n_offsets);
+        const RobustResult r = evaluator.run(
+            ProfiledChipModel(chip, v), zoo::rerr_set(s.dataset), n_offsets);
         row.push_back(fmt_rerr(r));
       }
       t.add_row(std::move(row));

@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ber::bench {
@@ -31,6 +32,19 @@ RobustResult rerr_with_scheme(const std::string& name,
   return robust_error(model, scheme, zoo::rerr_set(s.dataset), cfg,
                       zoo::default_chips(),
                       /*seed_base=*/1000);
+}
+
+std::vector<RobustResult> rerr_sweep(const std::string& name,
+                                     const std::vector<double>& grid) {
+  const zoo::Spec& s = zoo::spec(name);
+  Sequential& model = zoo::get(name);
+  BitErrorConfig cfg;
+  cfg.p = 0.0;
+  for (double p : grid) cfg.p = std::max(cfg.p, p);
+  const RandomBitErrorModel fault(cfg, /*seed_base=*/1000);
+  return RobustnessEvaluator(model, zoo::scheme_of(name))
+      .run_rate_sweep(fault, grid, zoo::rerr_set(s.dataset),
+                      zoo::default_chips());
 }
 
 std::string fmt_rerr(const RobustResult& r) {

@@ -22,6 +22,13 @@ RobustResult rerr(const std::string& name, double p);
 RobustResult rerr_with_scheme(const std::string& name,
                               const QuantScheme& scheme, double p);
 
+// RErr of a zoo model across a whole rate grid in one pass: the model is
+// quantized once and each chip's fault list is built once at max(grid)
+// (RobustnessEvaluator::run_rate_sweep). Element i corresponds to grid[i]
+// and is bit-identical to rerr(name, grid[i]).
+std::vector<RobustResult> rerr_sweep(const std::string& name,
+                                     const std::vector<double>& grid);
+
 // Formats "mean ±std" of a RobustResult in %.
 std::string fmt_rerr(const RobustResult& r);
 

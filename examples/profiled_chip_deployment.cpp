@@ -39,6 +39,8 @@ int main() {
   };
   const SramEnergyModel energy;
 
+  // One evaluator (one quantization) qualifies every chip and voltage.
+  RobustnessEvaluator evaluator(*model, scheme);
   for (const auto& [label, cfg] : chips) {
     const ProfiledChip chip(cfg);
     std::printf("%s\n", label);
@@ -46,8 +48,8 @@ int main() {
                 "RErr (%)", "verdict");
     double best_saving = 0.0;
     for (double v : {0.92, 0.88, 0.86, 0.84, 0.82}) {
-      const RobustResult r = robust_error_profiled(*model, scheme, test_set,
-                                                   chip, v, /*n_offsets=*/4);
+      const RobustResult r = evaluator.run(ProfiledChipModel(chip, v),
+                                           test_set, /*n_trials=*/4);
       const bool ok = 100.0 * r.mean_rerr < clean + 3.0;
       if (ok) best_saving = 1.0 - energy.energy_per_access(v);
       std::printf("  %-9.2f %-14.3f %6.2f +-%-7.2f %s\n", v,

@@ -1,10 +1,27 @@
 #include "biterror/injector.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "core/hash.h"
+#include "core/parallel.h"
 
 namespace ber {
+
+void BitErrorConfig::validate() const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("BitErrorConfig: p must be in [0,1]");
+  }
+  if (flip_fraction < 0.0 || set1_fraction < 0.0 || set0_fraction < 0.0) {
+    throw std::invalid_argument(
+        "BitErrorConfig: fault-type fractions must be non-negative");
+  }
+  const double sum = flip_fraction + set1_fraction + set0_fraction;
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument(
+        "BitErrorConfig: fault-type fractions must sum to 1");
+  }
+}
 
 double expected_bit_errors(double p, int bits, std::size_t weights) {
   return p * bits * static_cast<double>(weights);
@@ -36,12 +53,111 @@ std::uint16_t apply_fault(std::uint16_t code, int bit, FaultType type) {
   return code;
 }
 
+ChipFaultList::ChipFaultList(const NetSnapshot& layout,
+                             const BitErrorConfig& config,
+                             std::uint64_t chip_seed, double p_max,
+                             int threads)
+    : chip_seed_(chip_seed), p_max_(p_max) {
+  config.validate();
+  if (!(p_max >= 0.0 && p_max <= 1.0)) {
+    throw std::invalid_argument("ChipFaultList: p_max must be in [0,1]");
+  }
+  per_tensor_.resize(layout.tensors.size());
+  tensor_sizes_.reserve(layout.tensors.size());
+  tensor_bits_.reserve(layout.tensors.size());
+  for (const QuantizedTensor& qt : layout.tensors) {
+    tensor_sizes_.push_back(qt.codes.size());
+    tensor_bits_.push_back(qt.scheme.bits);
+  }
+  // The sweep visits coordinates in the same (tensor, element, bit) order as
+  // the scalar path; per-tensor sub-lists keep that order under parallelism.
+  parallel_for(static_cast<std::int64_t>(layout.tensors.size()), threads,
+               [&](std::int64_t t) {
+                 const QuantizedTensor& qt =
+                     layout.tensors[static_cast<std::size_t>(t)];
+                 const int bits = qt.scheme.bits;
+                 const std::uint64_t base =
+                     layout.offsets[static_cast<std::size_t>(t)];
+                 std::vector<ChipFault>& out =
+                     per_tensor_[static_cast<std::size_t>(t)];
+                 for (std::size_t i = 0; i < qt.codes.size(); ++i) {
+                   const std::uint64_t widx = base + i;
+                   for (int j = 0; j < bits; ++j) {
+                     const double u = hash_uniform(
+                         chip_seed, widx, static_cast<std::uint64_t>(j));
+                     if (u >= p_max) continue;
+                     const FaultType type = fault_type_at(
+                         config, chip_seed, widx,
+                         static_cast<std::uint64_t>(j));
+                     out.push_back({static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint8_t>(j),
+                                    static_cast<std::uint8_t>(type), u});
+                   }
+                 }
+               });
+}
+
+std::size_t ChipFaultList::size() const {
+  std::size_t n = 0;
+  for (const auto& v : per_tensor_) n += v.size();
+  return n;
+}
+
+std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
+                                 int threads) const {
+  if (p > p_max_) {
+    throw std::invalid_argument("ChipFaultList::apply: p exceeds p_max");
+  }
+  if (snap.tensors.size() != per_tensor_.size()) {
+    throw std::invalid_argument("ChipFaultList::apply: layout mismatch");
+  }
+  for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
+    if (snap.tensors[t].codes.size() != tensor_sizes_[t] ||
+        snap.tensors[t].scheme.bits != tensor_bits_[t]) {
+      throw std::invalid_argument("ChipFaultList::apply: layout mismatch");
+    }
+  }
+  std::vector<std::size_t> changed(per_tensor_.size(), 0);
+  parallel_for(
+      static_cast<std::int64_t>(per_tensor_.size()), threads,
+      [&](std::int64_t t) {
+        const std::vector<ChipFault>& faults =
+            per_tensor_[static_cast<std::size_t>(t)];
+        QuantizedTensor& qt = snap.tensors[static_cast<std::size_t>(t)];
+        std::size_t n_changed = 0;
+        // Entries are grouped by element index; apply each group to its code
+        // word once.
+        for (std::size_t k = 0; k < faults.size();) {
+          const std::uint32_t idx = faults[k].index;
+          const std::uint16_t before = qt.codes[idx];
+          std::uint16_t code = before;
+          for (; k < faults.size() && faults[k].index == idx; ++k) {
+            if (faults[k].u >= p) continue;
+            code = apply_fault(code, faults[k].bit,
+                               static_cast<FaultType>(faults[k].type));
+          }
+          if (code != before) {
+            qt.codes[idx] = code;
+            ++n_changed;
+          }
+        }
+        changed[static_cast<std::size_t>(t)] = n_changed;
+      });
+  std::size_t total = 0;
+  for (std::size_t c : changed) total += c;
+  return total;
+}
+
 std::size_t inject_random_bit_errors(NetSnapshot& snap,
                                      const BitErrorConfig& config,
                                      std::uint64_t chip_seed) {
-  if (config.p < 0.0 || config.p > 1.0) {
-    throw std::invalid_argument("BitErrorConfig: p must be in [0,1]");
-  }
+  return inject_random_bit_errors_scalar(snap, config, chip_seed);
+}
+
+std::size_t inject_random_bit_errors_scalar(NetSnapshot& snap,
+                                            const BitErrorConfig& config,
+                                            std::uint64_t chip_seed) {
+  config.validate();
   std::size_t changed = 0;
   for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
     QuantizedTensor& qt = snap.tensors[t];

@@ -13,9 +13,23 @@
 // likely on random data). For profiled-chip-style evaluation a biased mix of
 // stuck-at-style faults is supported: a SET1 cell reads 1 regardless of the
 // stored bit (an error iff a 0 was stored), a SET0 cell reads 0.
+//
+// Injection has two paths:
+//   * ChipFaultList — the hot path. One O(W*m) hash sweep materializes the
+//     chip's sparse fault pattern (every cell with u < p_max, together with
+//     its u), after which applying the faults at ANY rate p <= p_max is
+//     O(p_max*W*m): the faults at p are exactly the entries with u < p.
+//     Evaluators reuse one list across every batch / voltage / rate of a
+//     trial, which is where the throughput win comes from.
+//   * inject_random_bit_errors_scalar — the original per-(weight,bit)
+//     scalar loop, kept as the bit-exactness reference for tests and the
+//     injection microbenchmark.
+// Both paths consume the same hash stream, so they produce byte-identical
+// snapshots for a fixed chip seed.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "quant/net_quantizer.h"
 
@@ -31,6 +45,10 @@ struct BitErrorConfig {
   double set1_fraction = 0.0;
   double set0_fraction = 0.0;
 
+  // Throws std::invalid_argument unless p is in [0,1] and the fractions are
+  // non-negative and sum to 1 (within floating-point tolerance).
+  void validate() const;
+
   // Chip-2-like bias from Fig. 8 (0-to-1 flips dominate): mostly SET1.
   static BitErrorConfig biased_set1(double p) {
     return {p, 0.1, 0.75, 0.15};
@@ -41,12 +59,62 @@ struct BitErrorConfig {
 // (Tab. 6 right column).
 double expected_bit_errors(double p, int bits, std::size_t weights);
 
+// One faulty cell of a chip, in tensor-local coordinates. `u` is the cell's
+// hash_uniform vulnerability, kept so a list built at p_max can be filtered
+// to any lower rate without re-hashing.
+struct ChipFault {
+  std::uint32_t index;  // element within its tensor
+  std::uint8_t bit;
+  std::uint8_t type;  // FaultType
+  double u;
+};
+
+// The precomputed sparse fault pattern of one chip over a snapshot layout.
+class ChipFaultList {
+ public:
+  // Scans every (weight, bit) coordinate of `layout` once and records the
+  // cells with u < p_max. The layout only provides tensor sizes / offsets /
+  // bit widths; codes are not read. `threads` > 1 opts into a tensor-parallel
+  // sweep — leave it at 1 when the caller is already parallel (the
+  // RobustnessEvaluator runs one list per worker; nesting thread spawns
+  // would oversubscribe, see core/parallel.h).
+  ChipFaultList(const NetSnapshot& layout, const BitErrorConfig& config,
+                std::uint64_t chip_seed, double p_max, int threads = 1);
+
+  // Applies the chip's faults at rate p <= p_max to `snap` (which must have
+  // the layout the list was built for — tensor count, sizes and bit widths
+  // are checked). Returns the number of code words that changed.
+  // O(#faults); no hashing. Same `threads` contract as the constructor.
+  std::size_t apply(NetSnapshot& snap, double p, int threads = 1) const;
+
+  std::uint64_t chip_seed() const { return chip_seed_; }
+  double p_max() const { return p_max_; }
+  std::size_t size() const;
+
+ private:
+  std::uint64_t chip_seed_ = 0;
+  double p_max_ = 0.0;
+  std::vector<std::vector<ChipFault>> per_tensor_;
+  std::vector<std::size_t> tensor_sizes_;  // layout fingerprint for apply()
+  std::vector<int> tensor_bits_;
+};
+
 // Injects bit errors into all tensors of the snapshot. Only the low
 // `scheme.bits` of each code participate. Returns the number of code words
-// that changed.
+// that changed. One-shot convenience (a single in-place scalar pass — the
+// right tool when every call uses a fresh chip, like the RandBET trainer);
+// build a ChipFaultList instead when one chip's faults are reused across
+// batches or rates.
 std::size_t inject_random_bit_errors(NetSnapshot& snap,
                                      const BitErrorConfig& config,
                                      std::uint64_t chip_seed);
+
+// The scalar injection loop itself (one hash per (weight, bit) coordinate,
+// applied in place) — also the bit-exactness reference for ChipFaultList
+// tests and the bench_injection baseline.
+std::size_t inject_random_bit_errors_scalar(NetSnapshot& snap,
+                                            const BitErrorConfig& config,
+                                            std::uint64_t chip_seed);
 
 // Applies one cell's fault to bit j of a code word; returns the new code.
 std::uint16_t apply_fault(std::uint16_t code, int bit, FaultType type);

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/hash.h"
-#include "core/parallel.h"
-#include "core/rng.h"
+#include "faults/evaluator.h"
+#include "faults/linf_noise_model.h"
+#include "faults/profiled_chip_model.h"
+#include "faults/random_bit_error_model.h"
 #include "quant/net_quantizer.h"
 #include "tensor/ops.h"
 
@@ -48,46 +49,11 @@ float test_error(Sequential& model, const Dataset& data,
   return err;
 }
 
-namespace {
-
-RobustResult summarize(std::vector<float> errs, std::vector<float> confs) {
-  RobustResult r;
-  r.per_chip = std::move(errs);
-  double sum = 0.0, sq = 0.0, csum = 0.0;
-  for (float e : r.per_chip) {
-    sum += e;
-    sq += static_cast<double>(e) * e;
-  }
-  for (float c : confs) csum += c;
-  const double n = static_cast<double>(r.per_chip.size());
-  r.mean_rerr = static_cast<float>(sum / n);
-  const double var = std::max(0.0, sq / n - (sum / n) * (sum / n));
-  r.std_rerr = static_cast<float>(std::sqrt(var * n / std::max(1.0, n - 1)));
-  r.mean_confidence = static_cast<float>(csum / n);
-  return r;
-}
-
-}  // namespace
-
 RobustResult robust_error(Sequential& model, const QuantScheme& scheme,
                           const Dataset& data, const BitErrorConfig& config,
                           int n_chips, std::uint64_t seed_base, long batch) {
-  NetQuantizer quantizer(scheme);
-  const NetSnapshot base_snap = quantizer.quantize(model.params());
-
-  std::vector<float> errs(static_cast<std::size_t>(n_chips));
-  std::vector<float> confs(static_cast<std::size_t>(n_chips));
-  parallel_for(n_chips, [&](std::int64_t c) {
-    Sequential clone(model);
-    NetSnapshot snap = base_snap;
-    inject_random_bit_errors(snap, config,
-                             seed_base + static_cast<std::uint64_t>(c));
-    quantizer.write_dequantized(snap, clone.params());
-    const EvalResult r = evaluate(clone, data, batch);
-    errs[static_cast<std::size_t>(c)] = r.error;
-    confs[static_cast<std::size_t>(c)] = r.confidence;
-  });
-  return summarize(std::move(errs), std::move(confs));
+  const RandomBitErrorModel fault(config, seed_base);
+  return RobustnessEvaluator(model, scheme).run(fault, data, n_chips, batch);
 }
 
 RobustResult robust_error_profiled(Sequential& model,
@@ -95,48 +61,15 @@ RobustResult robust_error_profiled(Sequential& model,
                                    const Dataset& data,
                                    const ProfiledChip& chip, double v,
                                    int n_offsets, long batch) {
-  NetQuantizer quantizer(scheme);
-  const NetSnapshot base_snap = quantizer.quantize(model.params());
-
-  std::vector<float> errs(static_cast<std::size_t>(n_offsets));
-  std::vector<float> confs(static_cast<std::size_t>(n_offsets));
-  parallel_for(n_offsets, [&](std::int64_t i) {
-    Sequential clone(model);
-    NetSnapshot snap = base_snap;
-    // Spread offsets over the array with a large odd stride so different
-    // mappings overlap as little as possible.
-    const std::uint64_t offset =
-        (static_cast<std::uint64_t>(i) * 7919ULL * 64ULL) %
-        static_cast<std::uint64_t>(chip.num_cells());
-    chip.apply(snap, v, offset);
-    quantizer.write_dequantized(snap, clone.params());
-    const EvalResult r = evaluate(clone, data, batch);
-    errs[static_cast<std::size_t>(i)] = r.error;
-    confs[static_cast<std::size_t>(i)] = r.confidence;
-  });
-  return summarize(std::move(errs), std::move(confs));
+  const ProfiledChipModel fault(chip, v);
+  return RobustnessEvaluator(model, scheme).run(fault, data, n_offsets, batch);
 }
 
 RobustResult linf_weight_noise_error(Sequential& model, const Dataset& data,
                                      double rel_eps, int n_samples,
                                      std::uint64_t seed_base, long batch) {
-  std::vector<float> errs(static_cast<std::size_t>(n_samples));
-  std::vector<float> confs(static_cast<std::size_t>(n_samples));
-  parallel_for(n_samples, [&](std::int64_t s) {
-    Sequential clone(model);
-    Rng rng(hash_mix(seed_base, static_cast<std::uint64_t>(s), 0x11FFULL));
-    for (Param* p : clone.params()) {
-      const float range = p->value.abs_max();
-      const float eps = static_cast<float>(rel_eps) * range;
-      for (long i = 0; i < p->value.numel(); ++i) {
-        p->value[i] += static_cast<float>(rng.uniform(-eps, eps));
-      }
-    }
-    const EvalResult r = evaluate(clone, data, batch);
-    errs[static_cast<std::size_t>(s)] = r.error;
-    confs[static_cast<std::size_t>(s)] = r.confidence;
-  });
-  return summarize(std::move(errs), std::move(confs));
+  const LinfNoiseModel fault(rel_eps, seed_base);
+  return RobustnessEvaluator(model).run(fault, data, n_samples, batch);
 }
 
 LogitStats logit_stats(Sequential& model, const Dataset& data, long batch) {

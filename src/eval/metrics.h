@@ -1,6 +1,11 @@
 // Evaluation metrics: clean test error (Err), robust test error under random
 // bit errors (RErr, mean ± std over chips), profiled-chip RErr, L-inf weight
 // noise robustness and logit/confidence statistics.
+//
+// The three robustness entry points are thin adapters over the unified
+// FaultModel / RobustnessEvaluator pipeline (src/faults/); use that API
+// directly for new scenarios, model reuse across sweeps, or multi-rate
+// evaluation.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,7 @@
 #include "biterror/injector.h"
 #include "biterror/profiled_chip.h"
 #include "data/dataset.h"
+#include "faults/evaluator.h"
 #include "nn/sequential.h"
 #include "quant/quantizer.h"
 
@@ -27,12 +33,7 @@ EvalResult evaluate(Sequential& model, const Dataset& data, long batch = 200);
 float test_error(Sequential& model, const Dataset& data,
                  const QuantScheme* scheme = nullptr, long batch = 200);
 
-struct RobustResult {
-  float mean_rerr = 0.0f;
-  float std_rerr = 0.0f;
-  float mean_confidence = 0.0f;
-  std::vector<float> per_chip;
-};
+// RobustResult lives in faults/evaluator.h (re-exported here for callers).
 
 // RErr under the random bit error model: quantizes the model once, then for
 // each of `n_chips` seeds injects errors at rate `config.p` and evaluates.

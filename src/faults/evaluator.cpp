@@ -1,0 +1,155 @@
+#include "faults/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "eval/metrics.h"
+#include "faults/random_bit_error_model.h"
+
+namespace ber {
+
+double StreamingMoments::sample_std() const {
+  if (n_ == 0) return 0.0;
+  const double m = mean();
+  const double var = std::max(0.0, sumsq_ / n_ - m * m);
+  return std::sqrt(var * n_ / std::max<long>(1, n_ - 1));
+}
+
+namespace {
+
+RobustResult summarize(std::vector<float> errs,
+                       const std::vector<float>& confs) {
+  StreamingMoments err_moments, conf_moments;
+  for (float e : errs) err_moments.add(e);
+  for (float c : confs) conf_moments.add(c);
+  RobustResult r;
+  r.per_chip = std::move(errs);
+  r.mean_rerr = static_cast<float>(err_moments.mean());
+  r.std_rerr = static_cast<float>(err_moments.sample_std());
+  r.mean_confidence = static_cast<float>(conf_moments.mean());
+  return r;
+}
+
+// Runs fn(clone, pristine, trial) for trials [0, n) on a pool of workers;
+// each worker owns one model clone plus — when `need_pristine` — a stash of
+// its pristine weights (only the float-space path restores between trials;
+// the quantizer paths fully overwrite, so skip the copy there).
+template <typename PerTrial>
+void run_trials(Sequential& model, int n_trials, bool need_pristine,
+                const PerTrial& fn) {
+  const int threads =
+      std::max(1, std::min(default_threads(), std::max(1, n_trials)));
+  const std::int64_t chunk = (n_trials + threads - 1) / threads;
+  parallel_for(threads, threads, [&](std::int64_t t) {
+    const std::int64_t lo = t * chunk;
+    const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n_trials);
+    if (lo >= hi) return;
+    Sequential clone(model);
+    WeightStash pristine;
+    if (need_pristine) pristine.save(clone.params());
+    for (std::int64_t trial = lo; trial < hi; ++trial) {
+      fn(clone, pristine, trial);
+    }
+  });
+}
+
+}  // namespace
+
+RobustnessEvaluator::RobustnessEvaluator(Sequential& model,
+                                         const QuantScheme& scheme)
+    : model_(model), quantizer_(NetQuantizer(scheme)) {
+  base_snap_ = quantizer_->quantize(model_.params());
+}
+
+RobustnessEvaluator::RobustnessEvaluator(Sequential& model) : model_(model) {}
+
+RobustResult RobustnessEvaluator::run(const FaultModel& fault,
+                                      const Dataset& data, int n_trials,
+                                      long batch) const {
+  if (n_trials <= 0) return {};
+  const bool weight_space = fault.space() == FaultSpace::kFloatWeights;
+  if (!quantizer_ && !weight_space) {
+    throw std::invalid_argument(
+        "RobustnessEvaluator: code-space fault models need a quantizing "
+        "evaluator (construct with a QuantScheme)");
+  }
+  // Fail on the calling thread: worker-thread exceptions would terminate.
+  if (quantizer_ && !weight_space) fault.validate_layout(base_snap_);
+  std::vector<float> errs(static_cast<std::size_t>(n_trials));
+  std::vector<float> confs(static_cast<std::size_t>(n_trials));
+  run_trials(model_, n_trials, /*need_pristine=*/!quantizer_,
+             [&](Sequential& clone, const WeightStash& pristine,
+                 std::int64_t trial) {
+               const auto params = clone.params();
+               if (quantizer_) {
+                 if (weight_space) {
+                   quantizer_->write_dequantized(base_snap_, params);
+                   fault.apply_weights(params,
+                                       static_cast<std::uint64_t>(trial));
+                 } else {
+                   NetSnapshot snap = base_snap_;
+                   fault.apply(snap, static_cast<std::uint64_t>(trial));
+                   quantizer_->write_dequantized(snap, params);
+                 }
+               } else {
+                 // Reset to the pristine weights before perturbing: unlike
+                 // write_dequantized, apply_weights accumulates.
+                 pristine.restore(params);
+                 fault.apply_weights(params,
+                                     static_cast<std::uint64_t>(trial));
+               }
+               const EvalResult r = evaluate(clone, data, batch);
+               errs[static_cast<std::size_t>(trial)] = r.error;
+               confs[static_cast<std::size_t>(trial)] = r.confidence;
+             });
+  return summarize(std::move(errs), confs);
+}
+
+std::vector<RobustResult> RobustnessEvaluator::run_rate_sweep(
+    const RandomBitErrorModel& fault, const std::vector<double>& rates,
+    const Dataset& data, int n_chips, long batch) const {
+  if (!quantizer_) {
+    throw std::invalid_argument(
+        "RobustnessEvaluator::run_rate_sweep: needs a quantizing evaluator");
+  }
+  if (rates.empty() || n_chips <= 0) return {};
+  double p_max = 0.0;
+  for (double p : rates) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("run_rate_sweep: rates must be in [0,1]");
+    }
+    p_max = std::max(p_max, p);
+  }
+  const std::size_t nr = rates.size();
+  std::vector<std::vector<float>> errs(nr), confs(nr);
+  for (std::size_t r = 0; r < nr; ++r) {
+    errs[r].resize(static_cast<std::size_t>(n_chips));
+    confs[r].resize(static_cast<std::size_t>(n_chips));
+  }
+  run_trials(model_, n_chips, /*need_pristine=*/false,
+             [&](Sequential& clone, const WeightStash&, std::int64_t chip) {
+               // One hash sweep per chip covers the whole grid; each rate
+               // keeps the subset of faults with u below it (persistence).
+               const ChipFaultList faults = fault.fault_list(
+                   base_snap_, static_cast<std::uint64_t>(chip), p_max);
+               const auto params = clone.params();
+               for (std::size_t r = 0; r < nr; ++r) {
+                 NetSnapshot snap = base_snap_;
+                 faults.apply(snap, rates[r]);
+                 quantizer_->write_dequantized(snap, params);
+                 const EvalResult res = evaluate(clone, data, batch);
+                 errs[r][static_cast<std::size_t>(chip)] = res.error;
+                 confs[r][static_cast<std::size_t>(chip)] = res.confidence;
+               }
+             });
+  std::vector<RobustResult> out;
+  out.reserve(nr);
+  for (std::size_t r = 0; r < nr; ++r) {
+    out.push_back(summarize(std::move(errs[r]), confs[r]));
+  }
+  return out;
+}
+
+}  // namespace ber

@@ -1,0 +1,89 @@
+// RobustnessEvaluator: the one quantize -> inject -> evaluate -> aggregate
+// pipeline behind every robustness number in the repo.
+//
+// The evaluator snapshots (quantizes) the model's parameters ONCE, then runs
+// n trials of a FaultModel chip-parallel: worker threads each own one model
+// clone (a clone pool — write_dequantized fully overwrites the weights, so a
+// clone is reusable across that worker's trials) and stream per-trial
+// error/confidence into mean/std aggregation. Trials are indexed 0..n-1 and
+// deterministic per (model config, trial), so results are reproducible and
+// independent of thread count.
+//
+// run_rate_sweep() is the multi-rate fast path for random bit errors: the
+// persistence property (faults at p' <= p are a subset of those at p) lets
+// one ChipFaultList per chip, built at the top of the rate grid, serve every
+// rate — each rate's results are bit-identical to a standalone run() at that
+// rate, at a fraction of the hashing cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "faults/fault_model.h"
+#include "nn/sequential.h"
+#include "quant/net_quantizer.h"
+
+namespace ber {
+
+class RandomBitErrorModel;
+
+struct RobustResult {
+  float mean_rerr = 0.0f;
+  float std_rerr = 0.0f;
+  float mean_confidence = 0.0f;
+  std::vector<float> per_chip;
+};
+
+// Single-pass mean / sample-std accumulator (O(1) state).
+class StreamingMoments {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sumsq_ += x * x;
+  }
+  long count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / n_; }
+  double sample_std() const;
+
+ private:
+  long n_ = 0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+};
+
+class RobustnessEvaluator {
+ public:
+  // Quantizing evaluator: snapshots `model`'s parameters once under
+  // `scheme`; each trial perturbs a copy of the snapshot (kQuantizedCodes
+  // models) or the dequantized weights (kFloatWeights models). The model
+  // itself is never modified; it must outlive the evaluator.
+  RobustnessEvaluator(Sequential& model, const QuantScheme& scheme);
+
+  // Float-space evaluator (no quantization) — for kFloatWeights models only.
+  explicit RobustnessEvaluator(Sequential& model);
+
+  // The quantized baseline snapshot (empty in float-space mode).
+  const NetSnapshot& snapshot() const { return base_snap_; }
+
+  // Runs `n_trials` trials of `fault` and aggregates RErr / confidence.
+  RobustResult run(const FaultModel& fault, const Dataset& data, int n_trials,
+                   long batch = 200) const;
+
+  // Evaluates `fault`'s scenario across a whole rate grid, building each
+  // chip's fault list once at max(rates). Returns one RobustResult per rate,
+  // bit-identical to run() with the model's config at that rate.
+  std::vector<RobustResult> run_rate_sweep(const RandomBitErrorModel& fault,
+                                           const std::vector<double>& rates,
+                                           const Dataset& data, int n_chips,
+                                           long batch = 200) const;
+
+ private:
+  Sequential& model_;
+  std::optional<NetQuantizer> quantizer_;
+  NetSnapshot base_snap_;
+};
+
+}  // namespace ber

@@ -1,0 +1,25 @@
+#include "faults/fault_model.h"
+
+#include <stdexcept>
+
+namespace ber {
+
+void FaultModel::validate_layout(const NetSnapshot&) const {}
+
+std::size_t FaultModel::apply(NetSnapshot&, std::uint64_t) const {
+  throw std::logic_error(describe() +
+                         ": code-space injection not supported");
+}
+
+void FaultModel::apply_weights(const std::vector<Param*>&,
+                               std::uint64_t) const {
+  throw std::logic_error(describe() +
+                         ": weight-space injection not supported");
+}
+
+void FaultModel::corrupt_codeword(SecdedWord&, std::uint64_t,
+                                  std::uint64_t) const {
+  throw std::logic_error(describe() + ": codeword faults not supported");
+}
+
+}  // namespace ber

@@ -1,0 +1,73 @@
+// The unified fault-scenario interface.
+//
+// The paper's experimental loop is always the same shape: quantize a network
+// once, perturb the stored representation per "trial" (a chip, an offset
+// mapping, a noise sample), evaluate, aggregate over trials. What varies is
+// only HOW the representation is perturbed. A FaultModel captures that
+// variation point so one RobustnessEvaluator (faults/evaluator.h) can run
+// every scenario — uniform random bit errors (Sec. 3), profiled chips
+// (Tab. 5), SECDED-protected memories (Sec. 1) and L-inf weight noise
+// (Fig. 9) — and so new scenarios (adversarial bit errors, new memories)
+// plug in without another hand-rolled sweep.
+//
+// A model perturbs one of two spaces, reported by space():
+//   * kQuantizedCodes — apply(snapshot, trial) mutates quantized codes; the
+//     evaluator dequantizes afterwards. The deterministic trial index is the
+//     only randomness input: models derive their own seeds from it, so a
+//     fixed (model config, trial) pair is a reproducible chip.
+//   * kFloatWeights — apply_weights(params, trial) perturbs float weights
+//     directly (no quantization involved).
+// Calling the hook for the wrong space throws std::logic_error.
+//
+// Models must be safe to call concurrently for distinct trials (the
+// evaluator runs trials chip-parallel on one shared const model).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecc/secded.h"
+#include "nn/layer.h"
+#include "quant/net_quantizer.h"
+
+namespace ber {
+
+enum class FaultSpace { kQuantizedCodes, kFloatWeights };
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  // Human-readable scenario description for bench/report labeling.
+  virtual std::string describe() const = 0;
+
+  virtual FaultSpace space() const { return FaultSpace::kQuantizedCodes; }
+
+  // Throws std::invalid_argument if this model cannot operate on snapshots
+  // with `layout`'s shape (e.g. bit widths it cannot pack). The evaluator
+  // calls this once on the calling thread before fanning trials out to
+  // workers — exceptions thrown inside worker threads would terminate the
+  // process (core/parallel.h does not marshal them).
+  virtual void validate_layout(const NetSnapshot& layout) const;
+
+  // Injects trial `trial`'s faults into the quantized snapshot. Returns the
+  // number of code words changed. Only for kQuantizedCodes models.
+  virtual std::size_t apply(NetSnapshot& snap, std::uint64_t trial) const;
+
+  // Perturbs float weights in place for trial `trial`. Only for
+  // kFloatWeights models.
+  virtual void apply_weights(const std::vector<Param*>& params,
+                             std::uint64_t trial) const;
+
+  // Optional capability: injecting faults into an arbitrary 72-bit SECDED
+  // codeword memory (data + check bits). EccProtectedModel composes with any
+  // model that supports this — check bits live outside the weight snapshot,
+  // so apply() alone cannot express them.
+  virtual bool supports_codeword_faults() const { return false; }
+  virtual void corrupt_codeword(SecdedWord& word, std::uint64_t word_index,
+                                std::uint64_t trial) const;
+};
+
+}  // namespace ber

@@ -1,0 +1,37 @@
+#include "faults/linf_noise_model.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/hash.h"
+#include "core/rng.h"
+
+namespace ber {
+
+LinfNoiseModel::LinfNoiseModel(double rel_eps, std::uint64_t seed_base)
+    : rel_eps_(rel_eps), seed_base_(seed_base) {
+  if (rel_eps < 0.0) {
+    throw std::invalid_argument("LinfNoiseModel: rel_eps must be >= 0");
+  }
+}
+
+std::string LinfNoiseModel::describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "LinfNoise(eps=%g%% of range)",
+                100.0 * rel_eps_);
+  return buf;
+}
+
+void LinfNoiseModel::apply_weights(const std::vector<Param*>& params,
+                                   std::uint64_t trial) const {
+  Rng rng(hash_mix(seed_base_, trial, 0x11FFULL));
+  for (Param* p : params) {
+    const float range = p->value.abs_max();
+    const float eps = static_cast<float>(rel_eps_) * range;
+    for (long i = 0; i < p->value.numel(); ++i) {
+      p->value[i] += static_cast<float>(rng.uniform(-eps, eps));
+    }
+  }
+}
+
+}  // namespace ber
