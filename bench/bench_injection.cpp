@@ -5,7 +5,10 @@
 //     (inject_random_bit_errors_scalar), one hash per coordinate;
 //   * build   — constructing a ChipFaultList (the once-per-chip hash sweep);
 //   * apply   — applying a prebuilt ChipFaultList (the steady-state cost the
-//     evaluator pays per batch / voltage / rate of a trial).
+//     evaluator pays per batch / voltage / rate of a trial);
+//   * build_mt / apply_mt — the same two on the intra-tensor sharded path
+//     with default_threads() workers. The snapshot is ONE dominant tensor,
+//     exactly the case per-tensor parallelism could not split.
 //
 // Emits a single JSON object on stdout so future PRs can track the hot path;
 // `apply_speedup_vs_scalar` is the acceptance number (>= 5x at p <= 1e-2).
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "biterror/injector.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "quant/quantizer.h"
 
@@ -56,10 +60,11 @@ double seconds_per_call(const Fn& fn) {
 int main() {
   NetSnapshot snap = make_snapshot();
   const double total_words = static_cast<double>(kWeights);
+  const int threads = default_threads();
 
   std::printf("{\"bench\":\"injection\",\"weights\":%zu,\"bits\":%d,"
-              "\"results\":[",
-              kWeights, kBits);
+              "\"threads\":%d,\"results\":[",
+              kWeights, kBits, threads);
   bool first = true;
   for (double p : {1e-4, 1e-3, 1e-2}) {
     BitErrorConfig cfg;
@@ -69,18 +74,26 @@ int main() {
         [&] { inject_random_bit_errors_scalar(snap, cfg, /*chip=*/7); });
     const double build_sec = seconds_per_call(
         [&] { ChipFaultList list(snap, cfg, /*chip_seed=*/7, p); });
+    const double build_mt_sec = seconds_per_call(
+        [&] { ChipFaultList list(snap, cfg, /*chip_seed=*/7, p, threads); });
     const ChipFaultList list(snap, cfg, 7, p);
     const double apply_sec = seconds_per_call([&] { list.apply(snap, p); });
+    const double apply_mt_sec =
+        seconds_per_call([&] { list.apply(snap, p, threads); });
 
     std::printf(
         "%s{\"p\":%g,\"faults\":%zu,"
         "\"scalar_words_per_sec\":%.3e,"
         "\"build_words_per_sec\":%.3e,"
         "\"apply_words_per_sec\":%.3e,"
-        "\"apply_speedup_vs_scalar\":%.1f}",
+        "\"build_mt_words_per_sec\":%.3e,"
+        "\"apply_mt_words_per_sec\":%.3e,"
+        "\"apply_speedup_vs_scalar\":%.1f,"
+        "\"build_mt_speedup\":%.1f}",
         first ? "" : ",", p, list.size(), total_words / scalar_sec,
         total_words / build_sec, total_words / apply_sec,
-        scalar_sec / apply_sec);
+        total_words / build_mt_sec, total_words / apply_mt_sec,
+        scalar_sec / apply_sec, build_sec / build_mt_sec);
     first = false;
   }
   std::printf("]}\n");

@@ -1,0 +1,41 @@
+#include "attack/attack_config.h"
+
+#include <stdexcept>
+
+namespace ber {
+
+void AttackConfig::validate() const {
+  if (budget <= 0) {
+    throw std::invalid_argument("AttackConfig: budget must be positive");
+  }
+  if (rounds <= 0 || rounds > 30) {
+    throw std::invalid_argument("AttackConfig: rounds must be in [1,30]");
+  }
+  if (batch <= 0) {
+    throw std::invalid_argument("AttackConfig: batch must be positive");
+  }
+  if (attack_examples < 0) {
+    throw std::invalid_argument(
+        "AttackConfig: attack_examples must be non-negative");
+  }
+}
+
+int AttackConfig::flips_in_round(int round) const {
+  validate();
+  if (round < 0 || round >= rounds) {
+    throw std::invalid_argument("AttackConfig: round out of range");
+  }
+  if (schedule == BudgetSchedule::kUniform) {
+    const int base = budget / rounds;
+    return round < budget % rounds ? base + 1 : base;
+  }
+  // Geometric: round r owns weight 2^r of total 2^rounds - 1. Allocate via
+  // cumulative floors so the rounds sum to the budget exactly.
+  const long long total = (1LL << rounds) - 1;
+  const auto cum = [&](int r) {
+    return static_cast<long long>(budget) * ((1LL << (r + 1)) - 1) / total;
+  };
+  return static_cast<int>(cum(round) - (round == 0 ? 0 : cum(round - 1)));
+}
+
+}  // namespace ber

@@ -1,0 +1,42 @@
+// Attack budgets and round schedules.
+//
+// The attacker is budgeted in FLIPS, not rates: an adversary who controls
+// which cells to corrupt needs orders of magnitude fewer flips than the
+// random model's p * m * W expectation, so budgets are small integers.
+// Progressive (multi-round) selection re-evaluates gradients after each
+// committed batch of flips: the loss surface moves as flips land, and the
+// next round's saliency is computed against the already-perturbed codes.
+#pragma once
+
+#include <cstdint>
+
+namespace ber {
+
+// How the flip budget is spread over the rounds.
+enum class BudgetSchedule {
+  kUniform,    // budget / rounds flips per round (remainder to early rounds)
+  kGeometric,  // doubling rounds 1, 2, 4, ... — cheap coarse start, precise
+               // (frequently re-evaluated) early rounds, bulk at the end
+};
+
+struct AttackConfig {
+  int budget = 32;  // total bit flips the adversary may commit
+  int rounds = 4;   // gradient re-evaluations; 1 = single-shot top-k
+  BudgetSchedule schedule = BudgetSchedule::kUniform;
+
+  // Gradients are estimated on a held-out attack batch: a fixed-size random
+  // subsample (drawn with `seed`) of the attack set. 0 = use the whole set.
+  long attack_examples = 256;
+  long batch = 256;  // forward/backward chunk size
+  std::uint64_t seed = 0;
+
+  // Throws std::invalid_argument on non-positive budget/rounds/batch or
+  // negative attack_examples.
+  void validate() const;
+
+  // Flips committed in 0-based round `round`; sums to `budget` over
+  // [0, rounds).
+  int flips_in_round(int round) const;
+};
+
+}  // namespace ber

@@ -1,0 +1,142 @@
+#include "attack/attacker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/hash.h"
+#include "core/rng.h"
+#include "train/grad_capture.h"
+
+namespace ber {
+
+namespace {
+
+// Deterministic `n`-example subsample of `data` (partial Fisher-Yates on the
+// seeded stream). n <= 0 or n >= size returns the whole set.
+Dataset sample_subset(const Dataset& data, long n, std::uint64_t seed) {
+  const long total = data.size();
+  Dataset out;
+  out.num_classes = data.num_classes;
+  if (n <= 0 || n >= total) {
+    out.images = data.images;
+    out.labels = data.labels;
+    return out;
+  }
+  std::vector<long> idx(static_cast<std::size_t>(total));
+  for (long i = 0; i < total; ++i) idx[static_cast<std::size_t>(i)] = i;
+  Rng rng(hash_mix(seed, 0xA77AC4ULL, static_cast<std::uint64_t>(total)));
+  for (long i = 0; i < n; ++i) {
+    const long j = i + rng.uniform_int(0, static_cast<int>(total - 1 - i));
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(j)]);
+  }
+  const long stride = data.channels() * data.height() * data.width();
+  out.images = Tensor({n, data.channels(), data.height(), data.width()});
+  out.labels.resize(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    const long src = idx[static_cast<std::size_t>(i)];
+    std::copy(data.images.data() + src * stride,
+              data.images.data() + (src + 1) * stride,
+              out.images.data() + i * stride);
+    out.labels[static_cast<std::size_t>(i)] =
+        data.labels[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+}  // namespace
+
+BitFlipAttacker::BitFlipAttacker(const Sequential& model,
+                                 const QuantScheme& scheme,
+                                 const Dataset& attack_set,
+                                 const AttackConfig& config)
+    : model_(model),
+      quantizer_(scheme),
+      attack_set_(attack_set),
+      config_(config) {
+  config_.validate();
+  if (attack_set.size() <= 0) {
+    throw std::invalid_argument("BitFlipAttacker: empty attack set");
+  }
+}
+
+AttackResult BitFlipAttacker::attack(const NetSnapshot& base) {
+  return attack(base, config_.seed);
+}
+
+AttackResult BitFlipAttacker::attack(const NetSnapshot& base,
+                                     std::uint64_t seed) {
+  const std::vector<Param*> params = model_.params();
+  if (base.tensors.size() != params.size()) {
+    throw std::invalid_argument(
+        "BitFlipAttacker: snapshot does not match the model layout");
+  }
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    if (base.tensors[t].codes.size() !=
+        static_cast<std::size_t>(params[t]->value.numel())) {
+      throw std::invalid_argument(
+          "BitFlipAttacker: snapshot does not match the model layout");
+    }
+  }
+  const Dataset attack_data =
+      sample_subset(attack_set_, config_.attack_examples, seed);
+
+  NetSnapshot snap = base;
+  AttackResult out;
+  std::vector<std::uint64_t> excluded;
+  excluded.reserve(static_cast<std::size_t>(config_.budget));
+  float last_loss = 0.0f;
+  for (int r = 0; r < config_.rounds; ++r) {
+    const int want = config_.flips_in_round(r);
+    // A zero-flip round (small budget under a geometric schedule) leaves the
+    // snapshot unchanged — its loss and gradients equal the previous
+    // round's, so skip the forward/backward.
+    std::vector<Tensor> grads;
+    if (r == 0 || want > 0) {
+      GradCapture cap = capture_weight_gradients(model_, quantizer_, snap,
+                                                 attack_data, config_.batch);
+      last_loss = cap.loss;
+      grads = std::move(cap.grads);
+    }
+    if (r == 0) {
+      out.clean_loss = last_loss;
+    } else {
+      out.round_loss.push_back(last_loss);
+    }
+    if (want == 0) continue;
+    const std::vector<ScoredFlip> scored =
+        top_flips(snap, grads, static_cast<std::size_t>(want), excluded);
+    if (scored.empty()) break;  // no loss-increasing flip remains
+    for (const ScoredFlip& s : scored) {
+      snap.tensors[s.flip.tensor].codes[s.flip.index] ^=
+          static_cast<std::uint16_t>(1u << s.flip.bit);
+      excluded.push_back(flip_key(s.flip));
+      out.flips.push_back(s.flip);
+      out.predicted_gain += s.gain;
+    }
+  }
+  const GradCapture fin = capture_weight_gradients(
+      model_, quantizer_, snap, attack_data, config_.batch);
+  out.final_loss = fin.loss;
+  out.round_loss.push_back(fin.loss);
+  return out;
+}
+
+AdversarialBitErrorModel make_adversarial_model(BitFlipAttacker& attacker,
+                                                const NetSnapshot& base,
+                                                int n_trials) {
+  if (n_trials <= 0) {
+    throw std::invalid_argument("make_adversarial_model: need n_trials > 0");
+  }
+  std::vector<std::vector<BitFlip>> trials;
+  trials.reserve(static_cast<std::size_t>(n_trials));
+  for (int t = 0; t < n_trials; ++t) {
+    trials.push_back(
+        attacker
+            .attack(base, attacker.config().seed + static_cast<std::uint64_t>(t))
+            .flips);
+  }
+  return AdversarialBitErrorModel(std::move(trials));
+}
+
+}  // namespace ber

@@ -1,0 +1,74 @@
+// Gradient-guided adversarial bit-flip attacks (Stutz et al. 2021,
+// arXiv:2104.08323; fault-attack framing in Hacene et al. 2019,
+// arXiv:1911.10287).
+//
+// Threat model: the adversary knows the deployed network (white box — its
+// quantized codes and the quantization scheme), holds a batch of in-domain
+// data, and can corrupt a BUDGETED number of memory cells of the weight
+// array (e.g. via targeted voltage glitching or rowhammer-style disturbance).
+// The attack greedily/progressively picks the flips: each round computes
+// weight gradients of the task loss on the attack batch against the
+// currently-perturbed codes (train/grad_capture.h — no optimizer step), maps
+// them through the quantizer onto per-bit saliency scores
+// (attack/bit_saliency.h), commits the top-k positive-gain flips, and
+// repeats until the budget is spent or no loss-increasing flip remains.
+//
+// Everything is deterministic in (config, base snapshot): a fixed seed
+// reproduces the flip set bit-for-bit, which is what makes adversarial RErr
+// numbers comparable across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack_config.h"
+#include "attack/bit_saliency.h"
+#include "data/dataset.h"
+#include "faults/adversarial_model.h"
+#include "nn/sequential.h"
+#include "quant/net_quantizer.h"
+
+namespace ber {
+
+struct AttackResult {
+  std::vector<BitFlip> flips;     // committed flips, in application order
+  float clean_loss = 0.0f;        // attack-batch loss before any flip
+  float final_loss = 0.0f;        // attack-batch loss after the full set
+  std::vector<float> round_loss;  // attack-batch loss after each round
+  float predicted_gain = 0.0f;    // sum of first-order gains of the flips
+};
+
+class BitFlipAttacker {
+ public:
+  // Clones `model` internally (the original is never touched). `attack_set`
+  // is held by reference and must outlive the attacker; deleted for rvalues.
+  BitFlipAttacker(const Sequential& model, const QuantScheme& scheme,
+                  const Dataset& attack_set, const AttackConfig& config);
+  BitFlipAttacker(const Sequential& model, const QuantScheme& scheme,
+                  Dataset&& attack_set, const AttackConfig& config) = delete;
+
+  const AttackConfig& config() const { return config_; }
+
+  // Mounts the attack against `base` (a snapshot of the model under the
+  // attacker's scheme). Uses config().seed for the attack-batch subsample.
+  AttackResult attack(const NetSnapshot& base);
+
+  // Same, with an explicit subsample seed (overrides config().seed) — the
+  // per-trial entry point for adversarial sweeps.
+  AttackResult attack(const NetSnapshot& base, std::uint64_t seed);
+
+ private:
+  Sequential model_;
+  NetQuantizer quantizer_;
+  const Dataset& attack_set_;
+  AttackConfig config_;
+};
+
+// Mounts `n_trials` independent attacks against `base` (trial t subsamples
+// its attack batch with seed config().seed + t) and wraps the flip sets in
+// an AdversarialBitErrorModel ready for the RobustnessEvaluator.
+AdversarialBitErrorModel make_adversarial_model(BitFlipAttacker& attacker,
+                                                const NetSnapshot& base,
+                                                int n_trials);
+
+}  // namespace ber

@@ -1,0 +1,74 @@
+#include "attack/bit_saliency.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "quant/quantizer.h"
+
+namespace ber {
+
+std::uint64_t flip_key(const BitFlip& f) {
+  return (static_cast<std::uint64_t>(f.tensor) << 40) |
+         (static_cast<std::uint64_t>(f.index) << 8) |
+         static_cast<std::uint64_t>(f.bit);
+}
+
+namespace {
+
+// Strict total order for the selection: higher gain first, then the scalar
+// sweep order — makes the chosen set independent of scan implementation.
+bool better(const ScoredFlip& a, const ScoredFlip& b) {
+  if (a.gain != b.gain) return a.gain > b.gain;
+  return flip_key(a.flip) < flip_key(b.flip);
+}
+
+}  // namespace
+
+std::vector<ScoredFlip> top_flips(const NetSnapshot& snap,
+                                  const std::vector<Tensor>& grads,
+                                  std::size_t k,
+                                  const std::vector<std::uint64_t>& excluded) {
+  if (grads.size() != snap.tensors.size()) {
+    throw std::invalid_argument("top_flips: gradient/tensor count mismatch");
+  }
+  for (std::size_t t = 0; t < grads.size(); ++t) {
+    if (static_cast<std::size_t>(grads[t].numel()) !=
+        snap.tensors[t].codes.size()) {
+      throw std::invalid_argument("top_flips: gradient size mismatch");
+    }
+  }
+  const std::unordered_set<std::uint64_t> skip(excluded.begin(),
+                                               excluded.end());
+  // Bounded selection: keep the current best `k` in a small sorted buffer
+  // (k is a flip budget, tiny next to W*m candidates).
+  std::vector<ScoredFlip> best;
+  best.reserve(k + 1);
+  if (k == 0) return best;
+  for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
+    const QuantizedTensor& qt = snap.tensors[t];
+    const int bits = qt.scheme.bits;
+    const float* g = grads[t].data();
+    for (std::size_t i = 0; i < qt.codes.size(); ++i) {
+      const float gi = g[i];
+      if (gi == 0.0f) continue;
+      for (int j = 0; j < bits; ++j) {
+        const float gain =
+            gi * flip_delta(qt.codes[i], j, qt.scheme, qt.range);
+        if (gain <= 0.0f) continue;
+        ScoredFlip cand{{static_cast<std::uint32_t>(t),
+                         static_cast<std::uint32_t>(i),
+                         static_cast<std::uint8_t>(j)},
+                        gain};
+        if (best.size() == k && !better(cand, best.back())) continue;
+        if (skip.count(flip_key(cand.flip))) continue;
+        best.insert(std::upper_bound(best.begin(), best.end(), cand, better),
+                    cand);
+        if (best.size() > k) best.pop_back();
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ber

@@ -1,0 +1,58 @@
+// Per-bit flip saliency: mapping weight gradients onto stored bits.
+//
+// A bit-flip attacker does not perturb weights continuously — it flips
+// stored quantized bits, and each candidate flip (weight i, bit k) changes
+// the dequantized weight by a KNOWN, sign-aware delta (quant/quantizer.h
+// flip_delta: magnitude 2^k * Delta, sign from the stored bit and the two's
+// complement sign-bit weight). The first-order change of the task loss under
+// that flip is therefore
+//
+//     gain(i, k) = dL/dw_i * flip_delta(code_i, k)
+//
+// which ranks every (weight, bit) cell of the memory by how much damage
+// flipping it does — the core of the gradient-guided attacks of Stutz et
+// al. 2021 (arXiv:2104.08323) / Hacene et al. 2019 (arXiv:1911.10287).
+// top_flips() scans all W*m cells of a snapshot and returns the k
+// highest-gain flips under a strict deterministic total order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/net_quantizer.h"
+#include "tensor/tensor.h"
+
+namespace ber {
+
+// One bit of the stored network image, in (tensor, element, bit) coordinates
+// (the same tensor-local addressing as ChipFault).
+struct BitFlip {
+  std::uint32_t tensor = 0;
+  std::uint32_t index = 0;
+  std::uint8_t bit = 0;
+
+  bool operator==(const BitFlip&) const = default;
+};
+
+// Packs a flip into one sortable/hashable key (tensor-major, then element,
+// then bit — matches the scalar injection sweep order).
+std::uint64_t flip_key(const BitFlip& f);
+
+// A candidate flip with its first-order loss increase.
+struct ScoredFlip {
+  BitFlip flip;
+  float gain = 0.0f;
+};
+
+// The `k` highest-gain flips of `snap` under gradients `grads` (one tensor
+// per snapshot tensor, matching sizes), excluding the cells whose flip_key is
+// in `excluded`. Ties and ordering are deterministic: results are sorted by
+// gain descending, then by flip_key ascending. Only flips with positive gain
+// (first-order loss increase) are returned, so the result may have fewer
+// than `k` entries.
+std::vector<ScoredFlip> top_flips(const NetSnapshot& snap,
+                                  const std::vector<Tensor>& grads,
+                                  std::size_t k,
+                                  const std::vector<std::uint64_t>& excluded);
+
+}  // namespace ber

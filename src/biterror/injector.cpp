@@ -1,5 +1,6 @@
 #include "biterror/injector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -53,6 +54,33 @@ std::uint16_t apply_fault(std::uint16_t code, int bit, FaultType type) {
   return code;
 }
 
+namespace {
+
+// Elements per shard. Small enough that a single dominant conv tensor splits
+// into many independent work items, large enough that per-shard overhead is
+// noise. Boundaries depend only on the layout, so lists are identical for
+// every thread count.
+constexpr std::size_t kShardElems = 1 << 16;
+
+}  // namespace
+
+void ChipFaultList::init_layout(const NetSnapshot& layout) {
+  tensor_sizes_.reserve(layout.tensors.size());
+  tensor_bits_.reserve(layout.tensors.size());
+  for (std::size_t t = 0; t < layout.tensors.size(); ++t) {
+    const std::size_t size = layout.tensors[t].codes.size();
+    tensor_sizes_.push_back(size);
+    tensor_bits_.push_back(layout.tensors[t].scheme.bits);
+    for (std::size_t b = 0; b < size; b += kShardElems) {
+      shards_.push_back({static_cast<std::uint32_t>(t),
+                         static_cast<std::uint32_t>(b),
+                         static_cast<std::uint32_t>(
+                             std::min(size, b + kShardElems)),
+                         {}});
+    }
+  }
+}
+
 ChipFaultList::ChipFaultList(const NetSnapshot& layout,
                              const BitErrorConfig& config,
                              std::uint64_t chip_seed, double p_max,
@@ -62,25 +90,16 @@ ChipFaultList::ChipFaultList(const NetSnapshot& layout,
   if (!(p_max >= 0.0 && p_max <= 1.0)) {
     throw std::invalid_argument("ChipFaultList: p_max must be in [0,1]");
   }
-  per_tensor_.resize(layout.tensors.size());
-  tensor_sizes_.reserve(layout.tensors.size());
-  tensor_bits_.reserve(layout.tensors.size());
-  for (const QuantizedTensor& qt : layout.tensors) {
-    tensor_sizes_.push_back(qt.codes.size());
-    tensor_bits_.push_back(qt.scheme.bits);
-  }
+  init_layout(layout);
   // The sweep visits coordinates in the same (tensor, element, bit) order as
-  // the scalar path; per-tensor sub-lists keep that order under parallelism.
-  parallel_for(static_cast<std::int64_t>(layout.tensors.size()), threads,
-               [&](std::int64_t t) {
-                 const QuantizedTensor& qt =
-                     layout.tensors[static_cast<std::size_t>(t)];
+  // the scalar path; element-range shards keep that order under parallelism.
+  parallel_for(static_cast<std::int64_t>(shards_.size()), threads,
+               [&](std::int64_t s) {
+                 Shard& shard = shards_[static_cast<std::size_t>(s)];
+                 const QuantizedTensor& qt = layout.tensors[shard.tensor];
                  const int bits = qt.scheme.bits;
-                 const std::uint64_t base =
-                     layout.offsets[static_cast<std::size_t>(t)];
-                 std::vector<ChipFault>& out =
-                     per_tensor_[static_cast<std::size_t>(t)];
-                 for (std::size_t i = 0; i < qt.codes.size(); ++i) {
+                 const std::uint64_t base = layout.offsets[shard.tensor];
+                 for (std::uint32_t i = shard.begin; i < shard.end; ++i) {
                    const std::uint64_t widx = base + i;
                    for (int j = 0; j < bits; ++j) {
                      const double u = hash_uniform(
@@ -89,17 +108,57 @@ ChipFaultList::ChipFaultList(const NetSnapshot& layout,
                      const FaultType type = fault_type_at(
                          config, chip_seed, widx,
                          static_cast<std::uint64_t>(j));
-                     out.push_back({static_cast<std::uint32_t>(i),
-                                    static_cast<std::uint8_t>(j),
-                                    static_cast<std::uint8_t>(type), u});
+                     shard.faults.push_back({i, static_cast<std::uint8_t>(j),
+                                             static_cast<std::uint8_t>(type),
+                                             u});
                    }
                  }
                });
 }
 
+ChipFaultList::ChipFaultList(const NetSnapshot& layout,
+                             std::vector<std::vector<ChipFault>> per_tensor,
+                             double p_max, std::uint64_t tag)
+    : chip_seed_(tag), p_max_(p_max) {
+  if (per_tensor.size() != layout.tensors.size()) {
+    throw std::invalid_argument("ChipFaultList: per-tensor count mismatch");
+  }
+  init_layout(layout);
+  for (std::size_t t = 0; t < per_tensor.size(); ++t) {
+    for (std::size_t k = 0; k + 1 < per_tensor[t].size(); ++k) {
+      if (per_tensor[t][k].index > per_tensor[t][k + 1].index) {
+        throw std::invalid_argument(
+            "ChipFaultList: per-tensor faults must be in ascending element "
+            "order");
+      }
+    }
+    if (!per_tensor[t].empty() &&
+        per_tensor[t].back().index >= tensor_sizes_[t]) {
+      throw std::invalid_argument(
+          "ChipFaultList: fault element index outside tensor");
+    }
+    for (const ChipFault& f : per_tensor[t]) {
+      if (f.bit >= tensor_bits_[t]) {
+        throw std::invalid_argument(
+            "ChipFaultList: fault bit outside the tensor's code width");
+      }
+    }
+  }
+  const auto by_index = [](const ChipFault& f, std::uint32_t b) {
+    return f.index < b;
+  };
+  for (Shard& shard : shards_) {
+    const std::vector<ChipFault>& src = per_tensor[shard.tensor];
+    const auto lo =
+        std::lower_bound(src.begin(), src.end(), shard.begin, by_index);
+    const auto hi = std::lower_bound(lo, src.end(), shard.end, by_index);
+    shard.faults.assign(lo, hi);
+  }
+}
+
 std::size_t ChipFaultList::size() const {
   std::size_t n = 0;
-  for (const auto& v : per_tensor_) n += v.size();
+  for (const Shard& s : shards_) n += s.faults.size();
   return n;
 }
 
@@ -108,7 +167,7 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
   if (p > p_max_) {
     throw std::invalid_argument("ChipFaultList::apply: p exceeds p_max");
   }
-  if (snap.tensors.size() != per_tensor_.size()) {
+  if (snap.tensors.size() != tensor_sizes_.size()) {
     throw std::invalid_argument("ChipFaultList::apply: layout mismatch");
   }
   for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
@@ -117,16 +176,17 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
       throw std::invalid_argument("ChipFaultList::apply: layout mismatch");
     }
   }
-  std::vector<std::size_t> changed(per_tensor_.size(), 0);
+  std::vector<std::size_t> changed(shards_.size(), 0);
   parallel_for(
-      static_cast<std::int64_t>(per_tensor_.size()), threads,
-      [&](std::int64_t t) {
-        const std::vector<ChipFault>& faults =
-            per_tensor_[static_cast<std::size_t>(t)];
-        QuantizedTensor& qt = snap.tensors[static_cast<std::size_t>(t)];
+      static_cast<std::int64_t>(shards_.size()), threads,
+      [&](std::int64_t s) {
+        const Shard& shard = shards_[static_cast<std::size_t>(s)];
+        const std::vector<ChipFault>& faults = shard.faults;
+        QuantizedTensor& qt = snap.tensors[shard.tensor];
         std::size_t n_changed = 0;
         // Entries are grouped by element index; apply each group to its code
-        // word once.
+        // word once. Shards own disjoint element ranges, so writes are
+        // race-free.
         for (std::size_t k = 0; k < faults.size();) {
           const std::uint32_t idx = faults[k].index;
           const std::uint16_t before = qt.codes[idx];
@@ -141,7 +201,7 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
             ++n_changed;
           }
         }
-        changed[static_cast<std::size_t>(t)] = n_changed;
+        changed[static_cast<std::size_t>(s)] = n_changed;
       });
   std::size_t total = 0;
   for (std::size_t c : changed) total += c;

@@ -70,16 +70,34 @@ struct ChipFault {
 };
 
 // The precomputed sparse fault pattern of one chip over a snapshot layout.
+//
+// Storage is sharded WITHIN tensors: each tensor's element range is split
+// into fixed-size chunks (boundaries depend only on the layout, never on
+// `threads`), and both the build sweep and apply() parallelize over shards.
+// Without this, parallelism was per-tensor and one dominant conv tensor
+// serialized the whole sweep. Shards partition the element space, so no two
+// shards touch the same code word and the result is independent of thread
+// count.
 class ChipFaultList {
  public:
   // Scans every (weight, bit) coordinate of `layout` once and records the
   // cells with u < p_max. The layout only provides tensor sizes / offsets /
-  // bit widths; codes are not read. `threads` > 1 opts into a tensor-parallel
+  // bit widths; codes are not read. `threads` > 1 opts into a shard-parallel
   // sweep — leave it at 1 when the caller is already parallel (the
   // RobustnessEvaluator runs one list per worker; nesting thread spawns
   // would oversubscribe, see core/parallel.h).
   ChipFaultList(const NetSnapshot& layout, const BitErrorConfig& config,
                 std::uint64_t chip_seed, double p_max, int threads = 1);
+
+  // Assembles a list from precomputed per-tensor fault vectors (one vector
+  // per layout tensor, entries in ascending element order — checked). This
+  // is how non-hash fault sources reuse the sharded apply path: e.g.
+  // ProfiledChip::fault_list records each faulty cell with its vulnerability
+  // u so one list serves a whole voltage grid. `tag` is reported as
+  // chip_seed() for labeling.
+  ChipFaultList(const NetSnapshot& layout,
+                std::vector<std::vector<ChipFault>> per_tensor, double p_max,
+                std::uint64_t tag = 0);
 
   // Applies the chip's faults at rate p <= p_max to `snap` (which must have
   // the layout the list was built for — tensor count, sizes and bit widths
@@ -92,9 +110,19 @@ class ChipFaultList {
   std::size_t size() const;
 
  private:
+  // One contiguous element range [begin, end) of one tensor.
+  struct Shard {
+    std::uint32_t tensor;
+    std::uint32_t begin;
+    std::uint32_t end;
+    std::vector<ChipFault> faults;
+  };
+
+  void init_layout(const NetSnapshot& layout);
+
   std::uint64_t chip_seed_ = 0;
   double p_max_ = 0.0;
-  std::vector<std::vector<ChipFault>> per_tensor_;
+  std::vector<Shard> shards_;
   std::vector<std::size_t> tensor_sizes_;  // layout fingerprint for apply()
   std::vector<int> tensor_bits_;
 };

@@ -135,4 +135,28 @@ std::size_t ProfiledChip::apply(NetSnapshot& snap, double v,
   return changed;
 }
 
+ChipFaultList ProfiledChip::fault_list(const NetSnapshot& layout, double v_min,
+                                       std::uint64_t offset) const {
+  const double p_max = model_rate_at(v_min);
+  const std::uint64_t cells = static_cast<std::uint64_t>(num_cells());
+  std::vector<std::vector<ChipFault>> per_tensor(layout.tensors.size());
+  for (std::size_t t = 0; t < layout.tensors.size(); ++t) {
+    const QuantizedTensor& qt = layout.tensors[t];
+    const int bits = qt.scheme.bits;
+    const std::uint64_t base = layout.offsets[t];
+    for (std::size_t i = 0; i < qt.codes.size(); ++i) {
+      for (int j = 0; j < bits; ++j) {
+        const std::uint64_t bit_addr = (base + i) * bits + j;
+        const std::uint64_t cell = (offset + bit_addr) % cells;
+        const float u = vulnerability_[static_cast<std::size_t>(cell)];
+        if (u >= p_max) continue;
+        per_tensor[t].push_back({static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint8_t>(j), type_[cell],
+                                 static_cast<double>(u)});
+      }
+    }
+  }
+  return ChipFaultList(layout, std::move(per_tensor), p_max, offset);
+}
+
 }  // namespace ber

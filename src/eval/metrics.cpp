@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attack/attacker.h"
+#include "faults/adversarial_model.h"
 #include "faults/evaluator.h"
 #include "faults/linf_noise_model.h"
 #include "faults/profiled_chip_model.h"
@@ -63,6 +65,17 @@ RobustResult robust_error_profiled(Sequential& model,
                                    int n_offsets, long batch) {
   const ProfiledChipModel fault(chip, v);
   return RobustnessEvaluator(model, scheme).run(fault, data, n_offsets, batch);
+}
+
+RobustResult adversarial_error(Sequential& model, const QuantScheme& scheme,
+                               const Dataset& data, const Dataset& attack_set,
+                               const AttackConfig& config, int n_trials,
+                               long batch) {
+  const RobustnessEvaluator evaluator(model, scheme);
+  BitFlipAttacker attacker(model, scheme, attack_set, config);
+  const AdversarialBitErrorModel fault =
+      make_adversarial_model(attacker, evaluator.snapshot(), n_trials);
+  return evaluator.run(fault, data, n_trials, batch);
 }
 
 RobustResult linf_weight_noise_error(Sequential& model, const Dataset& data,

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "attack/attack_config.h"
 #include "biterror/injector.h"
 #include "biterror/profiled_chip.h"
 #include "data/dataset.h"
@@ -50,6 +51,16 @@ RobustResult robust_error_profiled(Sequential& model,
                                    const Dataset& data,
                                    const ProfiledChip& chip, double v,
                                    int n_offsets, long batch = 200);
+
+// RErr under gradient-guided adversarial bit flips (Stutz et al. 2021,
+// arXiv:2104.08323): trial t mounts an independent BitFlipAttacker run with
+// budget `config.budget`, its gradient batch subsampled from `attack_set`
+// with seed config.seed + t. Deterministic per (config, model) — rerunning
+// reproduces the flip sets bit-for-bit.
+RobustResult adversarial_error(Sequential& model, const QuantScheme& scheme,
+                               const Dataset& data, const Dataset& attack_set,
+                               const AttackConfig& config, int n_trials,
+                               long batch = 200);
 
 // RErr under i.i.d. uniform L-inf weight noise of magnitude
 // rel_eps * per-tensor weight range (Fig. 9). No quantization involved.

@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "eval/metrics.h"
+#include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
 
 namespace ber {
@@ -107,6 +108,40 @@ RobustResult RobustnessEvaluator::run(const FaultModel& fault,
   return summarize(std::move(errs), confs);
 }
 
+std::vector<RobustResult> RobustnessEvaluator::run_grid_sweep(
+    std::size_t n_points, int n_trials, const Dataset& data, long batch,
+    const std::function<ChipFaultList(std::uint64_t)>& build_list,
+    const std::function<double(std::size_t)>& rate_of) const {
+  std::vector<std::vector<float>> errs(n_points), confs(n_points);
+  for (std::size_t r = 0; r < n_points; ++r) {
+    errs[r].resize(static_cast<std::size_t>(n_trials));
+    confs[r].resize(static_cast<std::size_t>(n_trials));
+  }
+  run_trials(model_, n_trials, /*need_pristine=*/false,
+             [&](Sequential& clone, const WeightStash&, std::int64_t trial) {
+               // One fault-list build per trial covers the whole grid; each
+               // point keeps the subset of faults with u below its rate
+               // (persistence).
+               const ChipFaultList faults =
+                   build_list(static_cast<std::uint64_t>(trial));
+               const auto params = clone.params();
+               for (std::size_t r = 0; r < n_points; ++r) {
+                 NetSnapshot snap = base_snap_;
+                 faults.apply(snap, rate_of(r));
+                 quantizer_->write_dequantized(snap, params);
+                 const EvalResult res = evaluate(clone, data, batch);
+                 errs[r][static_cast<std::size_t>(trial)] = res.error;
+                 confs[r][static_cast<std::size_t>(trial)] = res.confidence;
+               }
+             });
+  std::vector<RobustResult> out;
+  out.reserve(n_points);
+  for (std::size_t r = 0; r < n_points; ++r) {
+    out.push_back(summarize(std::move(errs[r]), confs[r]));
+  }
+  return out;
+}
+
 std::vector<RobustResult> RobustnessEvaluator::run_rate_sweep(
     const RandomBitErrorModel& fault, const std::vector<double>& rates,
     const Dataset& data, int n_chips, long batch) const {
@@ -122,34 +157,31 @@ std::vector<RobustResult> RobustnessEvaluator::run_rate_sweep(
     }
     p_max = std::max(p_max, p);
   }
-  const std::size_t nr = rates.size();
-  std::vector<std::vector<float>> errs(nr), confs(nr);
-  for (std::size_t r = 0; r < nr; ++r) {
-    errs[r].resize(static_cast<std::size_t>(n_chips));
-    confs[r].resize(static_cast<std::size_t>(n_chips));
+  return run_grid_sweep(
+      rates.size(), n_chips, data, batch,
+      [&](std::uint64_t chip) {
+        return fault.fault_list(base_snap_, chip, p_max);
+      },
+      [&](std::size_t r) { return rates[r]; });
+}
+
+std::vector<RobustResult> RobustnessEvaluator::run_voltage_sweep(
+    const ProfiledChipModel& fault, const std::vector<double>& voltages,
+    const Dataset& data, int n_offsets, long batch) const {
+  if (!quantizer_) {
+    throw std::invalid_argument(
+        "RobustnessEvaluator::run_voltage_sweep: needs a quantizing "
+        "evaluator");
   }
-  run_trials(model_, n_chips, /*need_pristine=*/false,
-             [&](Sequential& clone, const WeightStash&, std::int64_t chip) {
-               // One hash sweep per chip covers the whole grid; each rate
-               // keeps the subset of faults with u below it (persistence).
-               const ChipFaultList faults = fault.fault_list(
-                   base_snap_, static_cast<std::uint64_t>(chip), p_max);
-               const auto params = clone.params();
-               for (std::size_t r = 0; r < nr; ++r) {
-                 NetSnapshot snap = base_snap_;
-                 faults.apply(snap, rates[r]);
-                 quantizer_->write_dequantized(snap, params);
-                 const EvalResult res = evaluate(clone, data, batch);
-                 errs[r][static_cast<std::size_t>(chip)] = res.error;
-                 confs[r][static_cast<std::size_t>(chip)] = res.confidence;
-               }
-             });
-  std::vector<RobustResult> out;
-  out.reserve(nr);
-  for (std::size_t r = 0; r < nr; ++r) {
-    out.push_back(summarize(std::move(errs[r]), confs[r]));
-  }
-  return out;
+  if (voltages.empty() || n_offsets <= 0) return {};
+  double v_min = voltages[0];
+  for (double v : voltages) v_min = std::min(v_min, v);
+  return run_grid_sweep(
+      voltages.size(), n_offsets, data, batch,
+      [&](std::uint64_t trial) {
+        return fault.fault_list(base_snap_, trial, v_min);
+      },
+      [&](std::size_t r) { return fault.chip().model_rate_at(voltages[r]); });
 }
 
 }  // namespace ber

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,8 @@
 
 namespace ber {
 
+class ChipFaultList;
+class ProfiledChipModel;
 class RandomBitErrorModel;
 
 struct RobustResult {
@@ -80,7 +83,25 @@ class RobustnessEvaluator {
                                            const Dataset& data, int n_chips,
                                            long batch = 200) const;
 
+  // The voltage-grid analog of run_rate_sweep for profiled chips: profiled
+  // maps are persistent in voltage too (faulty cells at a higher voltage are
+  // a subset of those at a lower one), so each trial's offset mapping is
+  // swept over the chip's cells once — at min(voltages) — and the resulting
+  // fault list serves the whole grid. Returns one RobustResult per voltage,
+  // bit-identical to run() with a ProfiledChipModel at that voltage.
+  // `fault`'s own voltage is ignored; only its chip and mapping are used.
+  std::vector<RobustResult> run_voltage_sweep(
+      const ProfiledChipModel& fault, const std::vector<double>& voltages,
+      const Dataset& data, int n_offsets, long batch = 200) const;
+
  private:
+  // Shared scaffolding of the persistence-based grid sweeps: per trial,
+  // build one fault list and apply it at every grid point's rate.
+  std::vector<RobustResult> run_grid_sweep(
+      std::size_t n_points, int n_trials, const Dataset& data, long batch,
+      const std::function<ChipFaultList(std::uint64_t trial)>& build_list,
+      const std::function<double(std::size_t point)>& rate_of) const;
+
   Sequential& model_;
   std::optional<NetQuantizer> quantizer_;
   NetSnapshot base_snap_;

@@ -30,4 +30,10 @@ std::size_t ProfiledChipModel::apply(NetSnapshot& snap,
   return chip_->apply(snap, v_, offset_for_trial(trial));
 }
 
+ChipFaultList ProfiledChipModel::fault_list(const NetSnapshot& layout,
+                                            std::uint64_t trial,
+                                            double v_min) const {
+  return chip_->fault_list(layout, v_min, offset_for_trial(trial));
+}
+
 }  // namespace ber

@@ -33,6 +33,13 @@ class ProfiledChipModel : public FaultModel {
   std::string describe() const override;
   std::size_t apply(NetSnapshot& snap, std::uint64_t trial) const override;
 
+  // The sparse fault pattern of trial `trial`'s mapping over `layout`,
+  // covering every voltage >= v_min (pass the bottom of a sweep grid; this
+  // model's own voltage() need not be in the grid). Apply at rate
+  // chip().model_rate_at(v) — see ProfiledChip::fault_list.
+  ChipFaultList fault_list(const NetSnapshot& layout, std::uint64_t trial,
+                           double v_min) const;
+
  private:
   std::shared_ptr<const ProfiledChip> chip_;
   double v_;

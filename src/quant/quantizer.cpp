@@ -114,6 +114,26 @@ float decode_code(std::uint16_t code, const QuantScheme& scheme,
   return from_normalized(delta * static_cast<float>(v), scheme, range);
 }
 
+float flip_delta(std::uint16_t code, int bit, const QuantScheme& scheme,
+                 const QuantRange& range) {
+  check_scheme(scheme);
+  if (bit < 0 || bit >= scheme.bits) {
+    throw std::invalid_argument("flip_delta: bit outside the code width");
+  }
+  // Level change of the flip. Unsigned codes weight every bit +2^bit; signed
+  // two's complement codes weight the top bit -2^(bits-1).
+  double dv = static_cast<double>(1L << bit);
+  if (!scheme.unsigned_codes && bit == scheme.bits - 1) dv = -dv;
+  if ((code >> bit) & 1u) dv = -dv;  // stored 1: the flip clears the bit
+  // Weight change per level: Delta, times the N-transform slope when the
+  // normalized [-1, 1] domain maps back onto [qmin, qmax].
+  double dw = dv * static_cast<double>(quant_delta(scheme, range));
+  if (scheme.asymmetric) {
+    dw *= 0.5 * (static_cast<double>(range.qmax) - range.qmin);
+  }
+  return static_cast<float>(dw);
+}
+
 QuantizedTensor quantize(std::span<const float> values,
                          const QuantScheme& scheme, const QuantRange& range) {
   check_scheme(scheme);

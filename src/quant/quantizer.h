@@ -98,4 +98,14 @@ float decode_code(std::uint16_t code, const QuantScheme& scheme,
 // Quantization step size Delta of Eq. (1) for the scheme/range.
 float quant_delta(const QuantScheme& scheme, const QuantRange& range);
 
+// Change of the dequantized weight when bit `bit` of stored code `code` is
+// flipped: decode(code ^ (1 << bit)) - decode(code), in closed form. Decoding
+// is linear in the (sign-extended) level, so the magnitude is
+// 2^bit * Delta * (asymmetric ? (qmax - qmin)/2 : 1) regardless of the code;
+// only the sign depends on the stored bit (and, for signed codes, on whether
+// `bit` is the two's complement sign bit). This is what makes high bits the
+// prime targets of gradient-guided bit-flip attacks (src/attack/).
+float flip_delta(std::uint16_t code, int bit, const QuantScheme& scheme,
+                 const QuantRange& range);
+
 }  // namespace ber

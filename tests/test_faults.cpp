@@ -167,6 +167,104 @@ TEST(ChipFaultList, ApplyRejectsMismatchedLayout) {
   EXPECT_THROW(list.apply(narrower, cfg.p), std::invalid_argument);
 }
 
+TEST(ChipFaultList, ShardedParallelPathByteIdentical) {
+  // 150k elements cross the intra-tensor shard boundary, so a multithreaded
+  // build/apply exercises several shards of ONE tensor — the case per-tensor
+  // parallelism could not split. Results must not depend on thread count.
+  const NetSnapshot clean = make_snapshot(150000, 8);
+  BitErrorConfig cfg;
+  cfg.p = 0.005;
+  NetSnapshot sharded = clean, scalar = clean;
+  const ChipFaultList list(clean, cfg, /*chip_seed=*/21, cfg.p, /*threads=*/4);
+  const std::size_t changed = list.apply(sharded, cfg.p, /*threads=*/4);
+  const std::size_t changed_scalar =
+      inject_random_bit_errors_scalar(scalar, cfg, 21);
+  EXPECT_EQ(changed, changed_scalar);
+  EXPECT_EQ(sharded.tensors[0].codes, scalar.tensors[0].codes);
+  EXPECT_EQ(list.size(), ChipFaultList(clean, cfg, 21, cfg.p).size());
+}
+
+TEST(ChipFaultList, PerTensorVectorCtorMatchesHashedBuild) {
+  const NetSnapshot clean = make_snapshot(70000, 8);
+  BitErrorConfig cfg;
+  cfg.p = 0.01;
+  const std::uint64_t chip = 5;
+  // Recreate the chip's fault pattern coordinate by coordinate, then feed it
+  // through the assembly constructor.
+  std::vector<std::vector<ChipFault>> per_tensor(1);
+  for (std::size_t i = 0; i < clean.tensors[0].codes.size(); ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const double u = hash_uniform(chip, i, static_cast<std::uint64_t>(j));
+      if (u >= cfg.p) continue;
+      per_tensor[0].push_back(
+          {static_cast<std::uint32_t>(i), static_cast<std::uint8_t>(j),
+           static_cast<std::uint8_t>(fault_type_at(cfg, chip, i, j)), u});
+    }
+  }
+  const ChipFaultList assembled(clean, std::move(per_tensor), cfg.p, chip);
+  EXPECT_EQ(assembled.chip_seed(), chip);
+  NetSnapshot a = clean, b = clean;
+  assembled.apply(a, cfg.p);
+  ChipFaultList(clean, cfg, chip, cfg.p).apply(b, cfg.p);
+  EXPECT_EQ(a.tensors[0].codes, b.tensors[0].codes);
+}
+
+TEST(ChipFaultList, PerTensorCtorRejectsBadInput) {
+  const NetSnapshot layout = make_snapshot(100, 8);
+  EXPECT_THROW((ChipFaultList(layout, {{}, {}}, 0.01)),  // tensor count
+               std::invalid_argument);
+  std::vector<std::vector<ChipFault>> unsorted(1);
+  unsorted[0] = {{5, 0, 0, 0.001}, {2, 0, 0, 0.001}};
+  EXPECT_THROW(ChipFaultList(layout, std::move(unsorted), 0.01),
+               std::invalid_argument);
+  std::vector<std::vector<ChipFault>> outside(1);
+  outside[0] = {{100, 0, 0, 0.001}};  // element index == tensor size
+  EXPECT_THROW(ChipFaultList(layout, std::move(outside), 0.01),
+               std::invalid_argument);
+  std::vector<std::vector<ChipFault>> wide(1);
+  wide[0] = {{0, 8, 0, 0.001}};  // bit == code width
+  EXPECT_THROW(ChipFaultList(layout, std::move(wide), 0.01),
+               std::invalid_argument);
+}
+
+TEST(ProfiledChip, FaultListServesWholeVoltageGrid) {
+  ProfiledChipConfig cc = ProfiledChipConfig::chip2();
+  cc.rows = 512;
+  cc.cols = 64;
+  const ProfiledChip chip(cc);
+  const NetSnapshot clean = make_snapshot(20000, 8);
+  const std::uint64_t offset = 7919ULL * 64ULL;
+  const double v_min = 0.80;
+  const ChipFaultList list = chip.fault_list(clean, v_min, offset);
+  EXPECT_EQ(list.p_max(), chip.model_rate_at(v_min));
+  for (double v : {0.80, 0.85, 0.92, 1.05}) {
+    NetSnapshot from_list = clean, fresh = clean;
+    list.apply(from_list, chip.model_rate_at(v));
+    chip.apply(fresh, v, offset);
+    EXPECT_EQ(from_list.tensors[0].codes, fresh.tensors[0].codes)
+        << "v=" << v;
+  }
+}
+
+TEST(RobustnessEvaluator, VoltageSweepMatchesIndividualRuns) {
+  Fixture f;
+  const QuantScheme scheme = QuantScheme::rquant(8);
+  ProfiledChipConfig cc = ProfiledChipConfig::chip2();
+  cc.rows = 512;
+  cc.cols = 64;
+  const ProfiledChip chip(cc);
+  const std::vector<double> grid{0.82, 0.86, 0.95};
+  const ProfiledChipModel fault(chip, grid[0]);
+  const auto sweep = RobustnessEvaluator(*f.model, scheme)
+                         .run_voltage_sweep(fault, grid, f.data, 4);
+  ASSERT_EQ(sweep.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const RobustResult single =
+        robust_error_profiled(*f.model, scheme, f.data, chip, grid[i], 4);
+    EXPECT_EQ(sweep[i].per_chip, single.per_chip) << "v=" << grid[i];
+  }
+}
+
 TEST(ChipFaultList, FaultCountConcentratesAroundExpectation) {
   const NetSnapshot clean = make_snapshot(40000, 8);
   BitErrorConfig cfg;
