@@ -1,0 +1,233 @@
+// Serving-runtime bench: the full train -> plan -> serve pipeline as one
+// JSON report.
+//
+//   * planner   — voltage-grid sweep + SLO: the chosen below-Vmin operating
+//     point and its modeled energy saving (acceptance: >= 20% saving with
+//     serving error inside the band);
+//   * serving   — single-replica batch-1 serial throughput vs the
+//     dynamic-batching multi-replica pool (throughput scaling, p50/p99
+//     latency, mean coalesced batch size, energy per inference);
+//   * health    — a forced degradation below the plan and the canary's
+//     step-up recovery.
+//
+// The trained model is cached as a serve checkpoint under the artifacts
+// dir, so reruns skip training. All accuracy/planning numbers are
+// bit-reproducible for the fixed seed; only the throughput/latency timings
+// vary run to run. BER_FAST=1 shrinks training and traffic to smoke scale.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "ber.h"
+
+namespace {
+
+using namespace ber;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = fast_mode();
+
+  // ------------------------------------------------------------- model ----
+  SyntheticConfig data_cfg = SyntheticConfig::cifar10();
+  data_cfg.n_train = fast ? 800 : 1500;
+  data_cfg.n_test = fast ? 200 : 500;
+  const Dataset train_set = make_synthetic(data_cfg, true);
+  const Dataset test_set = make_synthetic(data_cfg, false);
+
+  ModelConfig mc;
+  mc.width = 8;
+  auto model = build_model(mc);
+  TrainConfig tc;
+  tc.method = Method::kRandBET;
+  tc.wmax = 0.15f;
+  tc.p_train = 0.015;
+  tc.epochs = fast ? 14 : 30;
+  tc.lr_warmup_epochs = fast ? 1 : 3;
+
+  ensure_dir(artifacts_dir());
+  // Cache key carries the training config, so editing the recipe (or fast
+  // mode changing it) invalidates the cache instead of silently reporting a
+  // stale model; the stored scheme is checked against the recipe on load.
+  char ckpt_name[128];
+  std::snprintf(ckpt_name, sizeof(ckpt_name),
+                "/serve_randbet_w%d_e%d_p%g_%s.ckpt", mc.width, tc.epochs,
+                tc.p_train, tc.quant.str().c_str());
+  const std::string ckpt = artifacts_dir() + ckpt_name;
+  bool cached = file_exists(ckpt);
+  if (cached) {
+    if (load_checkpoint(ckpt, *model) != tc.quant) {
+      std::fprintf(stderr, "stale checkpoint scheme, retraining\n");
+      cached = false;
+    }
+  }
+  if (!cached) {
+    train(*model, train_set, test_set, tc);
+    save_checkpoint(ckpt, *model, tc.quant);
+  }
+  const QuantScheme scheme = tc.quant;
+  const double clean_err = test_error(*model, test_set, &scheme);
+
+  // ----------------------------------------------------------- planner ----
+  SloConfig slo;
+  slo.max_rerr = clean_err + 0.04;
+  slo.z = 2.0;
+  // The last two grid points (p ~ 7% / 33%) are meant to FAIL qualification:
+  // they document where the SLO cuts off and give the health drill genuinely
+  // degraded operating points below the plan.
+  const std::vector<double> grid_v = {1.0,  0.95, 0.92, 0.89, 0.86,
+                                      0.83, 0.8,  0.77, 0.74};
+  const int n_chips = fast ? 2 : 4;
+  OperatingPointPlanner planner(*model, scheme);
+  RandomBitErrorModel fault({/*p=*/0.02});
+  const OperatingPointPlan plan =
+      planner.plan(fault, test_set, grid_v, slo, n_chips);
+
+  std::printf("{\"bench\":\"serving\",\"fast\":%d,\"train_cached\":%d,"
+              "\"clean_err\":%.6f,\"slo\":{\"max_rerr\":%.6f,\"z\":%.1f},",
+              fast ? 1 : 0, cached ? 1 : 0, clean_err, slo.max_rerr, slo.z);
+  std::printf("\"planner\":{\"grid\":[");
+  for (std::size_t i = 0; i < plan.grid.size(); ++i) {
+    const GridPoint& g = plan.grid[i];
+    std::printf("%s{\"v\":%.3f,\"p\":%.3e,\"rerr_mean\":%.6f,"
+                "\"rerr_std\":%.6f,\"ucb\":%.6f,\"energy\":%.4f,"
+                "\"feasible\":%d}",
+                i ? "," : "", g.voltage, g.rate, g.rerr.mean_rerr,
+                g.rerr.std_rerr, slo.upper_bound(g.rerr), g.energy,
+                g.feasible ? 1 : 0);
+  }
+  std::printf("],\"chosen_v\":%.3f,\"chosen_p\":%.3e,\"below_vmin\":%d,"
+              "\"energy_saving\":%.4f},",
+              plan.chosen_point().voltage, plan.chosen_point().rate,
+              plan.below_vmin ? 1 : 0, plan.energy_saving);
+
+  // ----------------------------------------------------------- serving ----
+  const int n_replicas = 3;
+  const long n_requests = fast ? 400 : 2000;
+  BatchQueueConfig qcfg;
+  qcfg.max_batch = 32;
+  qcfg.max_wait_us = 200;
+
+  // Pre-generate the request tensors so producers measure the runtime, not
+  // dataset slicing.
+  std::vector<Tensor> request_images;
+  request_images.reserve(static_cast<std::size_t>(n_requests));
+  {
+    Tensor image;
+    std::vector<int> labels;
+    for (long i = 0; i < n_requests; ++i) {
+      const long j = i % test_set.size();
+      test_set.batch(j, j + 1, image, labels);
+      request_images.push_back(image.reshaped(
+          {image.shape(1), image.shape(2), image.shape(3)}));
+    }
+  }
+
+  // Serial baseline: one replica, one image per forward pass.
+  std::vector<Replica> serial_fleet = planner.deploy_fleet(fault, plan, 1);
+  const auto serial_start = Clock::now();
+  for (long i = 0; i < n_requests; ++i) {
+    const Tensor& img = request_images[static_cast<std::size_t>(i)];
+    Tensor probs = serial_fleet[0].forward(
+        img.reshaped({1, img.shape(0), img.shape(1), img.shape(2)}));
+    softmax_rows(probs);
+    (void)argmax_row(probs, 0);
+  }
+  const double serial_sec = seconds_since(serial_start);
+
+  // The pool: n_replicas fault-injected replicas, chips 0..n-1 (the same
+  // trials the planner swept), dynamic batching. No monitor here — canary
+  // forwards would pollute the throughput window; the health section runs
+  // the monitored scenario.
+  ReplicaPool pool(planner.deploy_fleet(fault, plan, n_replicas), qcfg);
+
+  const int n_producers = 4;
+  const auto pool_start = Clock::now();
+  std::vector<std::future<std::vector<Prediction>>> futures(
+      static_cast<std::size_t>(n_requests));
+  std::vector<std::thread> producers;
+  for (int t = 0; t < n_producers; ++t) {
+    producers.emplace_back([&, t] {
+      for (long i = t; i < n_requests; i += n_producers) {
+        futures[static_cast<std::size_t>(i)] =
+            pool.submit(request_images[static_cast<std::size_t>(i)]);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  long answered = 0;
+  for (auto& f : futures) answered += static_cast<long>(f.get().size());
+  const double pool_sec = seconds_since(pool_start);
+  pool.drain();
+  const ServingStats stats = pool.stats();
+
+  // Measured serving error: deterministic per-replica canary on the full
+  // test set (request->replica routing is timing-dependent; this is not).
+  double serving_err = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    serving_err += pool.replica(i).canary(test_set).error;
+  }
+  serving_err /= static_cast<double>(pool.size());
+  double fleet_energy = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    fleet_energy += planner.energy().energy_per_access(
+        pool.replica(i).point().voltage);
+  }
+  fleet_energy /= static_cast<double>(pool.size());
+
+  // Scaling is bounded by the cores actually available: on a single-core
+  // container the pool can only match serial throughput (efficiency ~1 shows
+  // the runtime adds no overhead); the replicas deliver wall-clock scaling
+  // on multi-core hosts (e.g. the CI bench-smoke artifacts).
+  const int cores = default_threads();
+  const double ideal =
+      static_cast<double>(std::min(n_replicas, cores));
+  std::printf("\"serving\":{\"n_replicas\":%d,\"threads_available\":%d,"
+              "\"max_batch\":%ld,"
+              "\"max_wait_us\":%ld,\"requests\":%ld,\"answered\":%ld,"
+              "\"serial_imgs_per_sec\":%.1f,\"pool_imgs_per_sec\":%.1f,"
+              "\"throughput_scaling\":%.2f,\"pool_efficiency\":%.2f,"
+              "\"mean_batch\":%.2f,"
+              "\"p50_latency_us\":%.1f,\"p99_latency_us\":%.1f,"
+              "\"serving_err\":%.6f,\"slo_band\":%.6f,\"slo_ok\":%d,"
+              "\"fleet_energy_per_access\":%.4f,\"fleet_energy_saving\":%.4f},",
+              n_replicas, cores, qcfg.max_batch, qcfg.max_wait_us, n_requests,
+              answered, n_requests / serial_sec, n_requests / pool_sec,
+              serial_sec / pool_sec, serial_sec / pool_sec / ideal,
+              stats.mean_batch_images,
+              stats.p50_latency_us, stats.p99_latency_us, serving_err,
+              slo.max_rerr, serving_err <= slo.max_rerr ? 1 : 0, fleet_energy,
+              1.0 - fleet_energy);
+
+  // ------------------------------------------------------------ health ----
+  // Force one replica BELOW the plan (the degradation drill) and let the
+  // canary walk it back up the grid.
+  HealthConfig hc;
+  hc.max_err = slo.max_rerr;
+  hc.period_batches = 8;
+  std::vector<Replica> drill = planner.deploy_fleet(fault, plan, 1);
+  Replica& sick = drill[0];
+  sick.deploy(plan.grid.size() - 1);
+  const double degraded_v = sick.point().voltage;
+  const double degraded_err =
+      sick.canary(test_set.head(fast ? 60 : 150)).error;
+  HealthMonitor drill_monitor(test_set.head(fast ? 60 : 150), hc);
+  int steps = 0;
+  while (drill_monitor.check(sick).tripped && steps < 16) ++steps;
+  std::printf("\"health\":{\"degraded_v\":%.3f,\"degraded_err\":%.6f,"
+              "\"redeploys\":%d,\"recovered_v\":%.3f,\"recovered_err\":%.6f,"
+              "\"recovered\":%d}}\n",
+              degraded_v, degraded_err, steps, sick.point().voltage,
+              sick.canary(test_set.head(fast ? 60 : 150)).error,
+              drill_monitor.events().back().tripped ? 0 : 1);
+  return answered == n_requests ? 0 : 1;
+}

@@ -2,7 +2,10 @@
 //
 // Format: little-endian PODs, length-prefixed strings/vectors, and a magic +
 // version header written by users of the API. Intentionally simple — files
-// are produced and consumed by this library only.
+// are produced and consumed by this library only — but reads are defensive:
+// a truncated or corrupt file (short read, length prefix larger than the
+// bytes that remain) throws std::runtime_error instead of returning garbage
+// or attempting an absurd allocation.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +54,9 @@ class BinaryReader {
   explicit BinaryReader(const std::string& path)
       : in_(path, std::ios::binary) {
     if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+    in_.seekg(0, std::ios::end);
+    size_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0, std::ios::beg);
   }
 
   template <typename T>
@@ -63,7 +69,7 @@ class BinaryReader {
   }
 
   std::string read_string() {
-    const auto n = read_pod<std::uint64_t>();
+    const auto n = checked_length(read_pod<std::uint64_t>(), 1, "string");
     std::string s(n, '\0');
     in_.read(s.data(), static_cast<std::streamsize>(n));
     if (!in_) throw std::runtime_error("BinaryReader: truncated string");
@@ -72,7 +78,8 @@ class BinaryReader {
 
   template <typename T>
   std::vector<T> read_vector() {
-    const auto n = read_pod<std::uint64_t>();
+    const auto n =
+        checked_length(read_pod<std::uint64_t>(), sizeof(T), "vector");
     std::vector<T> v(n);
     in_.read(reinterpret_cast<char*>(v.data()),
              static_cast<std::streamsize>(n * sizeof(T)));
@@ -80,8 +87,26 @@ class BinaryReader {
     return v;
   }
 
+  // Bytes left between the read cursor and end-of-file.
+  std::uint64_t remaining() {
+    return size_ - static_cast<std::uint64_t>(in_.tellg());
+  }
+
  private:
+  // Rejects length prefixes that promise more payload than the file holds —
+  // the signature of corruption — before any allocation happens.
+  std::size_t checked_length(std::uint64_t n, std::size_t elem_size,
+                             const char* what) {
+    if (n > remaining() / elem_size) {
+      throw std::runtime_error(std::string("BinaryReader: corrupt ") + what +
+                               " length prefix (" + std::to_string(n) +
+                               " elements exceeds remaining file size)");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
   std::ifstream in_;
+  std::uint64_t size_ = 0;
 };
 
 }  // namespace ber

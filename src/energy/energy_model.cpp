@@ -20,9 +20,12 @@ double SramEnergyModel::energy_per_access(double v) const {
   return dynamic_fraction * v * v + (1.0 - dynamic_fraction);
 }
 
-double SramEnergyModel::energy_saving_at_rate(double p) const {
-  const double v = voltage_for_rate(p);
+double SramEnergyModel::energy_saving_at_voltage(double v) const {
   return 1.0 - energy_per_access(v);
+}
+
+double SramEnergyModel::energy_saving_at_rate(double p) const {
+  return energy_saving_at_voltage(voltage_for_rate(p));
 }
 
 }  // namespace ber

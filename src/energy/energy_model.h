@@ -34,6 +34,9 @@ struct SramEnergyModel {
   // Energy per SRAM access at voltage v, normalized to 1 at Vmin.
   double energy_per_access(double v) const;
 
+  // Fractional energy saving vs Vmin operation at voltage v.
+  double energy_saving_at_voltage(double v) const;
+
   // Fractional energy saving vs Vmin operation when tolerating rate p.
   double energy_saving_at_rate(double p) const;
 };

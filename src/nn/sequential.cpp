@@ -95,10 +95,7 @@ std::string Sequential::signature() {
   return os.str();
 }
 
-void Sequential::save(const std::string& path) {
-  BinaryWriter w(path);
-  w.write_pod(kModelMagic);
-  w.write_pod(kModelVersion);
+void Sequential::write_weights(BinaryWriter& w) {
   w.write_string(signature());
   const auto ps = params();
   w.write_pod<std::uint64_t>(ps.size());
@@ -114,7 +111,23 @@ void Sequential::save(const std::string& path) {
     std::vector<float> data(b->data(), b->data() + b->numel());
     w.write_vector(data);
   }
+}
+
+void Sequential::save(const std::string& path) {
+  BinaryWriter w(path);
+  w.write_pod(kModelMagic);
+  w.write_pod(kModelVersion);
+  write_weights(w);
   if (!w.good()) throw std::runtime_error("Sequential::save failed: " + path);
+}
+
+void Sequential::read_weights(BinaryReader& r) {
+  const std::string sig = r.read_string();
+  if (sig != signature()) {
+    throw std::runtime_error("Sequential::load: architecture mismatch:\n  file:  " +
+                             sig + "\n  model: " + signature());
+  }
+  read_params_and_buffers(r);
 }
 
 void Sequential::load(const std::string& path) {
@@ -125,11 +138,10 @@ void Sequential::load(const std::string& path) {
   if (r.read_pod<std::uint32_t>() != kModelVersion) {
     throw std::runtime_error("Sequential::load: version mismatch in " + path);
   }
-  const std::string sig = r.read_string();
-  if (sig != signature()) {
-    throw std::runtime_error("Sequential::load: architecture mismatch:\n  file:  " +
-                             sig + "\n  model: " + signature());
-  }
+  read_weights(r);
+}
+
+void Sequential::read_params_and_buffers(BinaryReader& r) {
   const auto ps = params();
   if (r.read_pod<std::uint64_t>() != ps.size()) {
     throw std::runtime_error("Sequential::load: param count mismatch");

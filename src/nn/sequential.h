@@ -10,6 +10,9 @@
 
 namespace ber {
 
+class BinaryReader;
+class BinaryWriter;
+
 class Sequential : public Layer {
  public:
   Sequential() = default;
@@ -53,7 +56,15 @@ class Sequential : public Layer {
   void save(const std::string& path);
   void load(const std::string& path);
 
+  // Stream variants of save/load: the signature + params + buffers payload
+  // without the file-level magic/version header, so larger artifacts (e.g.
+  // serve/checkpoint.h's weights-plus-scheme bundles) can embed a model.
+  void write_weights(BinaryWriter& w);
+  void read_weights(BinaryReader& r);
+
  private:
+  void read_params_and_buffers(BinaryReader& r);
+
   std::vector<std::unique_ptr<Layer>> layers_;
 };
 

@@ -1,0 +1,87 @@
+#include "serve/batch_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ber {
+
+BatchQueue::BatchQueue(BatchQueueConfig config) : config_(config) {
+  if (config_.max_batch < 1 || config_.max_wait_us < 0) {
+    throw std::invalid_argument(
+        "BatchQueue: max_batch must be >= 1 and max_wait_us >= 0");
+  }
+}
+
+std::future<std::vector<Prediction>> BatchQueue::submit(Tensor input) {
+  if (input.dim() != 3 && input.dim() != 4) {
+    throw std::invalid_argument(
+        "BatchQueue::submit: expected [C,H,W] or [N,C,H,W], got " +
+        input.shape_str());
+  }
+  Request req;
+  req.n_images = input.dim() == 4 ? input.shape(0) : 1;
+  if (req.n_images < 1) {
+    throw std::invalid_argument("BatchQueue::submit: empty batch");
+  }
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<std::vector<Prediction>> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) throw std::runtime_error("BatchQueue::submit: queue closed");
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+WorkBatch BatchQueue::pop() {
+  WorkBatch wb;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return wb;  // closed and drained
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(config_.max_wait_us);
+  for (;;) {
+    while (!queue_.empty()) {
+      const long n = queue_.front().n_images;
+      // Never split a request; stop when the next one would overflow the
+      // budget (unless the batch is still empty — an oversized pre-batched
+      // request rides alone).
+      if (!wb.requests.empty() && wb.total_images + n > config_.max_batch) {
+        return wb;
+      }
+      wb.requests.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      wb.total_images += n;
+      if (wb.total_images >= config_.max_batch) return wb;
+    }
+    // Budget left and queue momentarily empty: linger for stragglers.
+    if (!cv_.wait_until(lk, deadline,
+                        [&] { return closed_ || !queue_.empty(); })) {
+      return wb;  // max_wait elapsed
+    }
+    if (queue_.empty()) return wb;  // woken by close()
+  }
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool BatchQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+long BatchQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<long>(queue_.size());
+}
+
+}  // namespace ber

@@ -1,0 +1,81 @@
+// Dynamic-batching request queue for the serving runtime.
+//
+// Producers submit single images ([C,H,W]) or pre-batched tensors
+// ([N,C,H,W]) and get a future of one Prediction per image. Consumers
+// (replica workers) pop() coalesced WorkBatches: after the first request is
+// dequeued, the pop lingers up to max_wait_us for more, stopping early once
+// max_batch images are gathered — classic "max batch or max wait, whichever
+// first" batching. A pre-batched request is never split; one larger than
+// max_batch is taken alone.
+//
+// Correctness contract (tested in tests/test_serve.cpp): every submitted
+// request is delivered to exactly one pop() — no losses, no duplicates, in
+// FIFO order — and close() wakes all consumers while letting queued work
+// drain.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ber {
+
+struct Prediction {
+  int label = -1;
+  float confidence = 0.0f;  // max softmax probability
+};
+
+struct BatchQueueConfig {
+  long max_batch = 32;      // images per coalesced forward pass
+  long max_wait_us = 1000;  // linger after the first dequeued request
+};
+
+// One queued request plus its fulfillment slot.
+struct Request {
+  Tensor input;   // [C,H,W] or [N,C,H,W]
+  long n_images;  // 1 for single-image requests
+  std::promise<std::vector<Prediction>> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+// A popped unit of work: requests meant for one forward pass.
+struct WorkBatch {
+  std::vector<Request> requests;
+  long total_images = 0;
+  bool empty() const { return requests.empty(); }
+};
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(BatchQueueConfig config);
+
+  // Enqueues `input` and returns a future resolving to one Prediction per
+  // image, in input order. Throws std::invalid_argument for tensors that are
+  // not [C,H,W] / [N,C,H,W], std::runtime_error after close().
+  std::future<std::vector<Prediction>> submit(Tensor input);
+
+  // Blocks until work is available, then coalesces. An empty WorkBatch means
+  // the queue is closed AND drained — the consumer should exit.
+  WorkBatch pop();
+
+  // Rejects new submissions and wakes blocked consumers; already-queued
+  // requests still drain through pop().
+  void close();
+
+  bool closed() const;
+  long depth() const;  // queued (not yet popped) requests
+
+ private:
+  BatchQueueConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ber

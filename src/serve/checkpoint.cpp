@@ -1,0 +1,52 @@
+#include "serve/checkpoint.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/serialize.h"
+
+namespace ber {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x42455244u;  // "BERD"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+void save_checkpoint(const std::string& path, Sequential& model,
+                     const QuantScheme& scheme) {
+  BinaryWriter w(path);
+  w.write_pod(kCheckpointMagic);
+  w.write_pod(kCheckpointVersion);
+  w.write_pod<std::int32_t>(scheme.bits);
+  w.write_pod<std::uint8_t>(scheme.scope == RangeScope::kGlobal ? 0 : 1);
+  w.write_pod<std::uint8_t>(scheme.asymmetric ? 1 : 0);
+  w.write_pod<std::uint8_t>(scheme.unsigned_codes ? 1 : 0);
+  w.write_pod<std::uint8_t>(scheme.rounded ? 1 : 0);
+  model.write_weights(w);
+  if (!w.good()) throw std::runtime_error("save_checkpoint failed: " + path);
+}
+
+QuantScheme load_checkpoint(const std::string& path, Sequential& model) {
+  BinaryReader r(path);
+  if (r.read_pod<std::uint32_t>() != kCheckpointMagic) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  if (r.read_pod<std::uint32_t>() != kCheckpointVersion) {
+    throw std::runtime_error("load_checkpoint: version mismatch in " + path);
+  }
+  QuantScheme scheme;
+  scheme.bits = static_cast<int>(r.read_pod<std::int32_t>());
+  if (scheme.bits < 2 || scheme.bits > 16) {
+    throw std::runtime_error("load_checkpoint: corrupt scheme bits in " +
+                             path);
+  }
+  scheme.scope = r.read_pod<std::uint8_t>() == 0 ? RangeScope::kGlobal
+                                                 : RangeScope::kPerTensor;
+  scheme.asymmetric = r.read_pod<std::uint8_t>() != 0;
+  scheme.unsigned_codes = r.read_pod<std::uint8_t>() != 0;
+  scheme.rounded = r.read_pod<std::uint8_t>() != 0;
+  model.read_weights(r);
+  return scheme;
+}
+
+}  // namespace ber

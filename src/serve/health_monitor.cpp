@@ -1,0 +1,49 @@
+#include "serve/health_monitor.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ber {
+
+HealthMonitor::HealthMonitor(Dataset probe, HealthConfig config)
+    : probe_(std::move(probe)), config_(config) {
+  if (probe_.size() == 0) {
+    throw std::invalid_argument("HealthMonitor: empty probe set");
+  }
+  if (!(config_.max_err >= 0.0 && config_.max_err <= 1.0)) {
+    throw std::invalid_argument("HealthMonitor: max_err must be in [0,1]");
+  }
+}
+
+bool HealthMonitor::due(long batches_served) const {
+  return config_.period_batches > 0 && batches_served > 0 &&
+         batches_served % config_.period_batches == 0;
+}
+
+HealthEvent HealthMonitor::check(Replica& replica) {
+  HealthEvent ev;
+  ev.replica = replica.id();
+  ev.voltage_before = replica.point().voltage;
+  ev.canary_err = replica.canary(probe_, config_.probe_batch).error;
+  ev.tripped = ev.canary_err > config_.max_err;
+  if (ev.tripped) ev.stepped = replica.step_up();
+  ev.voltage_after = replica.point().voltage;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(ev);
+    if (ev.tripped) ++trips_;
+  }
+  return ev;
+}
+
+std::vector<HealthEvent> HealthMonitor::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+int HealthMonitor::trips() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return trips_;
+}
+
+}  // namespace ber

@@ -1,0 +1,61 @@
+// Online canary for deployed replicas.
+//
+// Each replica periodically scores a small held-out probe set. A replica
+// whose canary error exceeds the SLO band trips a redeploy one voltage step
+// up: persistence makes the stepped-up fault set a strict subset of the
+// already-built ChipFaultList, so recovery needs no re-profiling, no
+// re-hashing and no model reload — just a rewrite of the replica's weights
+// from the base snapshot plus the list filtered to the higher voltage.
+//
+// check() runs on the worker thread that owns the replica (the replica has
+// no locking of its own); only the event log is shared and mutex-protected.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/replica.h"
+
+namespace ber {
+
+struct HealthConfig {
+  double max_err = 0.1;     // canary error band (absolute fraction)
+  int period_batches = 50;  // canary every N served batches; <= 0 disables
+  long probe_batch = 200;   // probe-set forward batch size
+};
+
+struct HealthEvent {
+  int replica = -1;
+  double canary_err = 0.0;
+  double voltage_before = 1.0;
+  double voltage_after = 1.0;
+  bool tripped = false;  // canary above the band
+  bool stepped = false;  // a redeploy happened (false when already at top)
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(Dataset probe, HealthConfig config);
+
+  // True when a worker that has served `batches_served` batches should run
+  // its canary now.
+  bool due(long batches_served) const;
+
+  // Scores `replica` on the probe set; steps it one voltage up if the error
+  // exceeds the band. The caller must own the replica's thread.
+  HealthEvent check(Replica& replica);
+
+  const HealthConfig& config() const { return config_; }
+  std::vector<HealthEvent> events() const;
+  int trips() const;
+
+ private:
+  Dataset probe_;
+  HealthConfig config_;
+  mutable std::mutex mu_;
+  std::vector<HealthEvent> events_;
+  int trips_ = 0;
+};
+
+}  // namespace ber

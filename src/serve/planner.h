@@ -1,0 +1,125 @@
+// Energy/SLO operating-point planning: turns a robustness sweep plus the
+// SRAM energy model into a deployment voltage.
+//
+// The accuracy SLO is an upper bound on served RErr at a confidence level:
+// a grid point is feasible when mean + z * std over the swept chips stays
+// below max_rerr (Gaussian upper-bound proxy on the per-chip RErr
+// distribution, from RobustResult's streaming moments — z = 2 covers ~97.7%
+// of chips). The planner walks the voltage grid from Vmin down and stops at
+// the first infeasible point: error grows monotonically as voltage drops
+// (fault persistence), so the feasible region is a contiguous prefix and
+// the last feasible point is the lowest-energy voltage that meets the SLO.
+//
+// Sweeps reuse the evaluator's fast paths — run_rate_sweep for uniform
+// random bit errors (rates from SramEnergyModel's Fig. 1 curve),
+// run_voltage_sweep for profiled chips — so the whole grid costs one fault
+// list build per chip. deploy_fleet() then hands each replica the chip of
+// one sweep trial, its list built once at the grid bottom, deployed at the
+// planned voltage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "energy/energy_model.h"
+#include "faults/evaluator.h"
+#include "faults/profiled_chip_model.h"
+#include "faults/random_bit_error_model.h"
+#include "serve/replica.h"
+
+namespace ber {
+
+// Accuracy SLO: served RErr must stay below max_rerr with confidence.
+struct SloConfig {
+  double max_rerr = 0.1;  // fraction misclassified
+  double z = 2.0;         // upper-bound multiplier on the chip std
+
+  // The chip-distribution upper bound the SLO is checked against.
+  double upper_bound(const RobustResult& r) const {
+    return static_cast<double>(r.mean_rerr) + z * static_cast<double>(r.std_rerr);
+  }
+};
+
+struct GridPoint {
+  double voltage = 1.0;  // normalized V/Vmin
+  double rate = 0.0;     // bit error rate at this voltage
+  RobustResult rerr;     // swept robustness at this rate
+  double energy = 1.0;   // per SRAM access, vs Vmin
+  bool feasible = false;
+};
+
+struct OperatingPointPlan {
+  std::vector<GridPoint> grid;  // descending voltage
+  std::size_t chosen = 0;       // lowest feasible voltage (0 if none)
+  bool feasible = false;        // grid[chosen] meets the SLO
+  bool below_vmin = false;      // chosen voltage < 1.0
+  double energy_saving = 0.0;   // 1 - grid[chosen].energy (0 if infeasible)
+
+  const GridPoint& chosen_point() const { return grid[chosen]; }
+  std::vector<double> voltages() const;
+  std::vector<double> rates() const;
+};
+
+// The pure selection rule (unit-testable without an evaluator): fills in
+// feasibility, walks the grid from index 0 down while feasible, and picks
+// the last feasible point. `grid` must be in descending-voltage order.
+OperatingPointPlan select_operating_point(std::vector<GridPoint> grid,
+                                          const SloConfig& slo);
+
+class OperatingPointPlanner {
+ public:
+  // Quantizes `model` once under `scheme`; the model must outlive the
+  // planner (replica clones are cut from it at deploy time).
+  OperatingPointPlanner(Sequential& model, const QuantScheme& scheme,
+                        SramEnergyModel energy = {});
+
+  // Plans against uniform random bit errors: voltages (strictly descending,
+  // normalized; include 1.0 to always have a Vmin fallback) are mapped to
+  // rates via the energy model and swept with n_chips trials each.
+  OperatingPointPlan plan(const RandomBitErrorModel& fault, const Dataset& data,
+                          const std::vector<double>& voltages,
+                          const SloConfig& slo, int n_chips,
+                          long batch = 200) const;
+
+  // Profiled-chip variant: rates come from the chip's own voltage curve and
+  // the sweep runs over n_offsets weight-to-memory mappings.
+  OperatingPointPlan plan_profiled(const ProfiledChipModel& fault,
+                                   const Dataset& data,
+                                   const std::vector<double>& voltages,
+                                   const SloConfig& slo, int n_offsets,
+                                   long batch = 200) const;
+
+  // Builds n_replicas replicas of the planned deployment: replica r serves
+  // the chip of sweep trial r, with ONE fault list built at the grid bottom
+  // (so step_up()/deploy() can move along the whole grid), deployed at
+  // plan.chosen.
+  std::vector<Replica> deploy_fleet(const RandomBitErrorModel& fault,
+                                    const OperatingPointPlan& plan,
+                                    int n_replicas) const;
+
+  // Profiled-chip fleet: replica r serves the chip under mapping trial r
+  // (one fault list per mapping, swept once at the grid bottom).
+  std::vector<Replica> deploy_fleet_profiled(const ProfiledChipModel& fault,
+                                             const OperatingPointPlan& plan,
+                                             int n_replicas) const;
+
+  // Mean energy per access of a fleet (vs Vmin), from each replica's
+  // current operating point.
+  double fleet_energy_per_access(const std::vector<Replica>& fleet) const;
+
+  const RobustnessEvaluator& evaluator() const { return evaluator_; }
+  const SramEnergyModel& energy() const { return energy_; }
+
+ private:
+  std::vector<GridPoint> make_grid(const std::vector<double>& voltages,
+                                   const std::vector<double>& rates,
+                                   std::vector<RobustResult> sweep) const;
+
+  Sequential& model_;
+  QuantScheme scheme_;
+  SramEnergyModel energy_;
+  RobustnessEvaluator evaluator_;
+};
+
+}  // namespace ber

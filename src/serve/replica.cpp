@@ -1,0 +1,56 @@
+#include "serve/replica.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ber {
+
+Replica::Replica(int id, const Sequential& model, const NetQuantizer& quantizer,
+                 std::shared_ptr<const NetSnapshot> base, ChipFaultList faults,
+                 std::vector<double> voltages, std::vector<double> rates,
+                 std::size_t deploy_index)
+    : id_(id),
+      model_(model),
+      quantizer_(quantizer),
+      base_(std::move(base)),
+      faults_(std::move(faults)),
+      voltages_(std::move(voltages)),
+      rates_(std::move(rates)) {
+  if (!base_) throw std::invalid_argument("Replica: null base snapshot");
+  if (voltages_.empty() || voltages_.size() != rates_.size()) {
+    throw std::invalid_argument("Replica: voltage/rate grids must align");
+  }
+  for (std::size_t i = 1; i < voltages_.size(); ++i) {
+    if (voltages_[i] >= voltages_[i - 1] || rates_[i] < rates_[i - 1]) {
+      throw std::invalid_argument(
+          "Replica: voltages must descend with non-decreasing rates");
+    }
+  }
+  if (faults_.p_max() < rates_.back()) {
+    throw std::invalid_argument(
+        "Replica: fault list does not cover the bottom of the voltage grid");
+  }
+  deploy(deploy_index);
+}
+
+void Replica::deploy(std::size_t grid_index) {
+  if (grid_index >= voltages_.size()) {
+    throw std::out_of_range("Replica::deploy: grid index out of range");
+  }
+  index_ = grid_index;
+  NetSnapshot snap = *base_;
+  last_changed_ = faults_.apply(snap, rates_[index_]);
+  quantizer_.write_dequantized(snap, model_.params());
+}
+
+bool Replica::step_up() {
+  if (index_ == 0) return false;
+  deploy(index_ - 1);
+  return true;
+}
+
+OperatingPoint Replica::point() const {
+  return {voltages_[index_], rates_[index_], faults_.chip_seed()};
+}
+
+}  // namespace ber

@@ -1,0 +1,89 @@
+// One serving replica of a quantized model on a simulated faulty chip.
+//
+// A replica owns a clone of the served model plus everything needed to
+// (re)deploy it along a voltage grid: the shared quantized base snapshot,
+// the chip's sparse ChipFaultList — built ONCE at the most aggressive grid
+// voltage — and the aligned (voltage, rate) grid. deploy(i) materializes
+// exactly the weights a chip at grid voltage i would hold: base codes, the
+// chip's faults at that voltage's rate, dequantized. Voltage persistence
+// (faults at a higher voltage are a subset of those at a lower one) is what
+// lets one list serve every grid point, so a HealthMonitor redeploy never
+// re-profiles or re-hashes: the O(W*m) sweep happened once at fleet build;
+// a redeploy is one snapshot copy + O(#faults) apply + dequantize.
+//
+// Thread model: a replica has no internal locking. The ReplicaPool gives
+// each worker thread exclusive ownership of one replica; forward/deploy/
+// canary must not be called concurrently on the same replica.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "biterror/injector.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "nn/sequential.h"
+#include "quant/net_quantizer.h"
+
+namespace ber {
+
+// The (voltage, rate, chip) triple a replica currently serves at.
+struct OperatingPoint {
+  double voltage = 1.0;    // normalized V/Vmin
+  double rate = 0.0;       // bit error rate the chip exhibits at `voltage`
+  std::uint64_t chip = 0;  // chip identity (fault-model trial index)
+};
+
+class Replica {
+ public:
+  // `voltages` must be strictly descending (index 0 = safest, closest to
+  // Vmin) with `rates` aligned and non-decreasing; `faults` must cover the
+  // bottom of the grid (p_max() >= rates.back()). Deploys at `deploy_index`
+  // immediately.
+  Replica(int id, const Sequential& model, const NetQuantizer& quantizer,
+          std::shared_ptr<const NetSnapshot> base, ChipFaultList faults,
+          std::vector<double> voltages, std::vector<double> rates,
+          std::size_t deploy_index);
+
+  // Rewrites the clone's weights as base + faults at grid point `i`.
+  void deploy(std::size_t grid_index);
+
+  // One voltage step up (toward Vmin, i.e. safer). The new fault set is a
+  // strict subset of the current one. Returns false at the top of the grid.
+  bool step_up();
+
+  int id() const { return id_; }
+  std::size_t grid_index() const { return index_; }
+  OperatingPoint point() const;
+  const std::vector<double>& voltages() const { return voltages_; }
+  const std::vector<double>& rates() const { return rates_; }
+  // Code words the last deploy() changed.
+  std::size_t faults_applied() const { return last_changed_; }
+
+  // Eval-mode forward pass on an [N,C,H,W] batch; returns logits.
+  Tensor forward(const Tensor& batch) {
+    return model_.forward(batch, /*training=*/false);
+  }
+
+  // The replica's private clone (deployed weights) — for inspection/tests.
+  Sequential& model() { return model_; }
+
+  // Scores the replica on a held-out probe set (the canary).
+  EvalResult canary(const Dataset& probe, long batch = 200) {
+    return evaluate(model_, probe, batch);
+  }
+
+ private:
+  int id_;
+  Sequential model_;  // this replica's private clone
+  NetQuantizer quantizer_;
+  std::shared_ptr<const NetSnapshot> base_;
+  ChipFaultList faults_;
+  std::vector<double> voltages_;
+  std::vector<double> rates_;
+  std::size_t index_ = 0;
+  std::size_t last_changed_ = 0;
+};
+
+}  // namespace ber

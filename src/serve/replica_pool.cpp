@@ -1,0 +1,166 @@
+#include "serve/replica_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace ber {
+
+namespace {
+
+// Most recent per-request latencies retained for percentile reporting.
+constexpr std::size_t kLatencyWindow = 1 << 16;
+
+// [C,H,W] of a request tensor (3-d single image or 4-d batch).
+std::vector<long> image_shape_of(const Tensor& t) {
+  const int d = t.dim();
+  return {t.shape(d - 3), t.shape(d - 2), t.shape(d - 1)};
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+ReplicaPool::ReplicaPool(std::vector<Replica> replicas,
+                         BatchQueueConfig queue_config, HealthMonitor* monitor)
+    : replicas_(std::move(replicas)),
+      queue_(queue_config),
+      monitor_(monitor),
+      worker_stats_(replicas_.size()) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("ReplicaPool: need at least one replica");
+  }
+  threads_.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+ReplicaPool::~ReplicaPool() { drain(); }
+
+std::future<std::vector<Prediction>> ReplicaPool::submit(Tensor input) {
+  if (input.dim() == 3 || input.dim() == 4) {
+    const std::vector<long> shape = image_shape_of(input);
+    std::lock_guard<std::mutex> lk(shape_mu_);
+    if (image_shape_.empty()) {
+      image_shape_ = shape;
+    } else if (shape != image_shape_) {
+      throw std::invalid_argument(
+          "ReplicaPool::submit: image shape differs from earlier requests");
+    }
+  }
+  return queue_.submit(std::move(input));
+}
+
+void ReplicaPool::drain() {
+  if (drained_) return;
+  drained_ = true;
+  queue_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ReplicaPool::worker(std::size_t i) {
+  Replica& replica = replicas_[i];
+  for (;;) {
+    WorkBatch wb = queue_.pop();
+    if (wb.empty()) return;  // closed and drained
+
+    std::vector<double> latencies;
+    std::size_t fulfilled = 0;
+    try {
+      // Concatenate the coalesced requests into one [N,C,H,W] pass.
+      const std::vector<long> img = image_shape_of(wb.requests.front().input);
+      const long stride = img[0] * img[1] * img[2];
+      Tensor batch({wb.total_images, img[0], img[1], img[2]});
+      long row = 0;
+      for (const Request& req : wb.requests) {
+        std::memcpy(batch.data() + row * stride, req.input.data(),
+                    static_cast<std::size_t>(req.n_images * stride) *
+                        sizeof(float));
+        row += req.n_images;
+      }
+
+      Tensor probs = replica.forward(batch);
+      softmax_rows(probs);
+
+      const auto done = std::chrono::steady_clock::now();
+      latencies.reserve(wb.requests.size());
+      row = 0;
+      for (Request& req : wb.requests) {
+        std::vector<Prediction> out(static_cast<std::size_t>(req.n_images));
+        for (long k = 0; k < req.n_images; ++k) {
+          const long pred = argmax_row(probs, row + k);
+          out[static_cast<std::size_t>(k)] = {
+              static_cast<int>(pred), probs.at(row + k, pred)};
+        }
+        row += req.n_images;
+        req.promise.set_value(std::move(out));
+        ++fulfilled;
+        latencies.push_back(
+            std::chrono::duration<double, std::micro>(done - req.enqueued)
+                .count());
+      }
+    } catch (...) {
+      // A bad request (e.g. an input the model cannot forward) must fail
+      // its own batch's futures, not std::terminate the serving process.
+      for (std::size_t r = fulfilled; r < wb.requests.size(); ++r) {
+        wb.requests[r].promise.set_exception(std::current_exception());
+      }
+    }
+
+    long batches_served;
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      WorkerStats& ws = worker_stats_[i];
+      ++ws.batches;
+      ws.images += wb.total_images;
+      ws.requests += static_cast<long>(wb.requests.size());
+      for (double l : latencies) {
+        if (latency_window_.size() < kLatencyWindow) {
+          latency_window_.push_back(l);
+        } else {
+          latency_window_[latency_next_] = l;
+        }
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+      batches_served = ws.batches;
+    }
+    if (monitor_ && monitor_->due(batches_served)) monitor_->check(replica);
+  }
+}
+
+ServingStats ReplicaPool::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ServingStats s;
+  s.per_replica_batches.reserve(worker_stats_.size());
+  s.per_replica_images.reserve(worker_stats_.size());
+  for (const WorkerStats& ws : worker_stats_) {
+    s.requests += ws.requests;
+    s.images += ws.images;
+    s.batches += ws.batches;
+    s.per_replica_batches.push_back(ws.batches);
+    s.per_replica_images.push_back(ws.images);
+  }
+  s.mean_batch_images =
+      s.batches > 0 ? static_cast<double>(s.images) / s.batches : 0.0;
+  std::vector<double> sorted = latency_window_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_latency_us = percentile(sorted, 0.50);
+  s.p99_latency_us = percentile(sorted, 0.99);
+  return s;
+}
+
+}  // namespace ber

@@ -1,0 +1,96 @@
+// The serving runtime: N fault-injected replicas on worker threads behind a
+// dynamic-batching queue.
+//
+// Each worker owns one Replica exclusively (core/parallel-style coarse
+// threads; no shared model state) and loops: pop a coalesced WorkBatch,
+// concatenate the requests into one forward pass, softmax, fulfill each
+// request's promise with per-image predictions. When a HealthMonitor is
+// attached, the worker runs its replica's canary every period_batches
+// batches — on its own thread, so a tripped redeploy never races serving
+// traffic on that replica.
+//
+// Request → replica assignment is whichever worker pops first, so per-image
+// results are only replica-independent if the fleet shares one chip. What
+// IS deterministic regardless of assignment: each prediction equals a
+// serial forward of the same image on the replica that served it, and the
+// dynamic batch composition never changes per-image results (all layers are
+// per-sample in eval mode).
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batch_queue.h"
+#include "serve/health_monitor.h"
+#include "serve/replica.h"
+
+namespace ber {
+
+struct ServingStats {
+  long requests = 0;
+  long images = 0;
+  long batches = 0;
+  double mean_batch_images = 0.0;
+  // Latency percentiles (submit -> promise fulfilled, per request) over the
+  // most recent window of requests — the history is bounded so a
+  // long-running pool neither grows without limit nor pays an ever-larger
+  // sort per stats() snapshot.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  std::vector<long> per_replica_batches;
+  std::vector<long> per_replica_images;
+};
+
+class ReplicaPool {
+ public:
+  // Takes ownership of the replicas and starts one worker thread per
+  // replica. `monitor` (optional) must outlive the pool.
+  ReplicaPool(std::vector<Replica> replicas, BatchQueueConfig queue_config,
+              HealthMonitor* monitor = nullptr);
+  ~ReplicaPool();
+
+  // Enqueues a [C,H,W] image or [N,C,H,W] pre-batched tensor; the future
+  // resolves to one Prediction per image. All requests must share the
+  // image shape of the first submission.
+  std::future<std::vector<Prediction>> submit(Tensor input);
+
+  // Closes the queue, lets queued work finish, joins workers. Idempotent;
+  // also run by the destructor.
+  void drain();
+
+  // Consistent once drain() has returned; a live snapshot before that.
+  ServingStats stats() const;
+
+  std::size_t size() const { return replicas_.size(); }
+  Replica& replica(std::size_t i) { return replicas_[i]; }
+
+ private:
+  void worker(std::size_t i);
+
+  std::vector<Replica> replicas_;
+  BatchQueue queue_;
+  HealthMonitor* monitor_;
+
+  mutable std::mutex stats_mu_;
+  struct WorkerStats {
+    long batches = 0;
+    long images = 0;
+    long requests = 0;
+  };
+  std::vector<WorkerStats> worker_stats_;
+  std::vector<double> latency_window_;  // ring buffer, kLatencyWindow cap
+  std::size_t latency_next_ = 0;
+
+  // Shape check on the submit hot path has its own mutex so producers never
+  // contend with worker stat updates.
+  std::mutex shape_mu_;
+  std::vector<long> image_shape_;  // [C,H,W] of the first submission
+
+  std::vector<std::thread> threads_;
+  bool drained_ = false;
+};
+
+}  // namespace ber

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "biterror/injector.h"
 #include "core/hash.h"
@@ -58,7 +59,12 @@ TrainStats train(Sequential& model, const Dataset& train_set,
       config.method == Method::kRandBET || config.method == Method::kPattBET;
   bool injection_active = false;
   int activation_epoch = -1;
-  std::uint64_t step = 0;
+  // The epoch's chip fault list, built lazily on the first injected batch
+  // (PATTBET's chip never changes, so its list survives across epochs). The
+  // list depends only on the snapshot layout — sizes and bit widths, which
+  // are fixed for the whole run — never on the codes or ranges.
+  std::optional<ChipFaultList> chip_faults;
+  std::uint64_t chip_faults_seed = ~0ull;
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     opt.set_lr(schedule.at(epoch, config.epochs));
@@ -118,11 +124,25 @@ TrainStats train(Sequential& model, const Dataset& train_set,
           const std::uint64_t chip =
               config.method == Method::kPattBET
                   ? config.pattern_seed
-                  : hash_mix(config.seed, 0xB17E44ULL, step);
+                  : hash_mix(config.seed, 0xB17E44ULL,
+                             static_cast<std::uint64_t>(epoch));
           NetSnapshot perturbed = snap;
-          BitErrorConfig bec;
-          bec.p = p_now;
-          inject_random_bit_errors(perturbed, bec, chip);
+          if (config.reuse_fault_lists) {
+            if (!chip_faults || chip_faults_seed != chip) {
+              BitErrorConfig bec;
+              bec.p = config.p_train;
+              chip_faults.emplace(snap, bec, chip, /*p_max=*/config.p_train);
+              chip_faults_seed = chip;
+            }
+            chip_faults->apply(perturbed, p_now);
+          } else {
+            // Reference path: per-batch scalar re-hash of the same chip.
+            // Persistence makes both paths byte-identical (u < p_now picks
+            // the same cells whether filtered from the list or re-hashed).
+            BitErrorConfig bec;
+            bec.p = p_now;
+            inject_random_bit_errors(perturbed, bec, chip);
+          }
 
           if (config.alternating) {
             // Two separate updates: clean first, then perturbed with a
@@ -150,7 +170,6 @@ TrainStats train(Sequential& model, const Dataset& train_set,
             loss_sum += clean_stats.loss * b;
             correct += clean_stats.correct;
             seen += b;
-            ++step;
             continue;
           }
           // Standard RANDBET: accumulate perturbed gradients on top
@@ -173,7 +192,6 @@ TrainStats train(Sequential& model, const Dataset& train_set,
       loss_sum += clean_stats.loss * b;
       correct += clean_stats.correct;
       seen += b;
-      ++step;
     }
 
     const float epoch_loss = static_cast<float>(loss_sum / seen);

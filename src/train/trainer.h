@@ -9,7 +9,11 @@
 //              quantized codes received random bit errors at rate p_train;
 //              the update uses the SUM of clean and perturbed gradients
 //              (Alg. 1 line 16). Injection starts once the clean loss drops
-//              below a threshold (the paper's 1.75 / 3.5 gating).
+//              below a threshold (the paper's 1.75 / 3.5 gating). One chip
+//              (error pattern) is sampled per EPOCH — a real chip's pattern
+//              is fixed, so this is the hardware-faithful granularity — and
+//              its sparse ChipFaultList is built once and reapplied per
+//              batch (O(#faults) instead of an O(W*m) hash sweep per step).
 //   PATTBET  — like RANDBET but with ONE fixed bit error pattern (chip seed)
 //              for the whole training run — the co-design baseline of
 //              Tab. 3 that fails to generalize.
@@ -43,6 +47,11 @@ struct TrainConfig {
   float bit_error_loss_threshold = 1.75f;  // gate for RANDBET injection
   bool curricular = false;
   bool alternating = false;
+  // Build each epoch's chip fault list once and reapply it per batch (the
+  // fast path). false = re-hash the same chip per batch via the scalar
+  // injector — kept as the bit-exactness reference; trajectories are
+  // identical for a fixed seed (tested in test_trainer.cpp).
+  bool reuse_fault_lists = true;
 
   int epochs = 20;
   int batch_size = 100;

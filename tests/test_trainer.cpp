@@ -138,6 +138,59 @@ TEST(Trainer, PattBETIsDeterministicInPattern) {
   EXPECT_NE(s1.epoch_loss, s2.epoch_loss);
 }
 
+TEST(Trainer, FaultListReuseIsBitIdentical) {
+  // The RandBET inner loop builds each epoch's ChipFaultList once and
+  // reapplies it per batch; the reference path re-hashes the same chip with
+  // the scalar injector every batch. Persistence makes them byte-identical,
+  // so the training trajectories must match bit for bit.
+  Tiny t;
+  TrainConfig tc = t.base_train();
+  tc.method = Method::kRandBET;
+  tc.wmax = 0.3f;
+  tc.p_train = 0.02;
+  tc.bit_error_loss_threshold = 99.0f;  // inject from epoch 1
+  tc.epochs = 5;
+  auto fast = build_model(t.model_cfg);
+  auto reference = build_model(t.model_cfg);
+  tc.reuse_fault_lists = true;
+  const TrainStats s_fast = train(*fast, t.train_set, t.test_set, tc);
+  tc.reuse_fault_lists = false;
+  const TrainStats s_ref = train(*reference, t.train_set, t.test_set, tc);
+  EXPECT_EQ(s_fast.epoch_loss, s_ref.epoch_loss);
+  EXPECT_EQ(s_fast.epoch_train_err, s_ref.epoch_train_err);
+  EXPECT_EQ(s_fast.final_test_err, s_ref.final_test_err);
+  const auto pf = fast->params();
+  const auto pr = reference->params();
+  ASSERT_EQ(pf.size(), pr.size());
+  for (std::size_t i = 0; i < pf.size(); ++i) {
+    for (long j = 0; j < pf[i]->value.numel(); ++j) {
+      ASSERT_EQ(pf[i]->value[j], pr[i]->value[j])
+          << pf[i]->name << "[" << j << "]";
+    }
+  }
+}
+
+TEST(Trainer, FaultListReuseIsBitIdenticalCurricular) {
+  // Same assertion through the curricular ramp (p varies per epoch but the
+  // list is built once at p_train and filtered down by persistence).
+  Tiny t;
+  TrainConfig tc = t.base_train();
+  tc.method = Method::kRandBET;
+  tc.curricular = true;
+  tc.wmax = 0.3f;
+  tc.p_train = 0.02;
+  tc.bit_error_loss_threshold = 99.0f;
+  tc.epochs = 5;
+  auto fast = build_model(t.model_cfg);
+  auto reference = build_model(t.model_cfg);
+  tc.reuse_fault_lists = true;
+  const TrainStats s_fast = train(*fast, t.train_set, t.test_set, tc);
+  tc.reuse_fault_lists = false;
+  const TrainStats s_ref = train(*reference, t.train_set, t.test_set, tc);
+  EXPECT_EQ(s_fast.epoch_loss, s_ref.epoch_loss);
+  EXPECT_EQ(s_fast.final_test_err, s_ref.final_test_err);
+}
+
 TEST(Trainer, NonQuantAwarePath) {
   Tiny t;
   auto model = build_model(t.model_cfg);
