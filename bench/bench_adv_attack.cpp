@@ -31,6 +31,10 @@ constexpr int kRandTrials = 10;
 }  // namespace
 
 int main() {
+  // Bit-reproducible attack trajectories need the pinned reference backend
+  // (greedy flip selection compares float saliencies; reassociation could
+  // reorder ties).
+  kernels::set_default_backend("reference");
   // Fixed-seed reference net: MLP on the MNIST-analog, RQuant 8-bit.
   SyntheticConfig data_cfg = SyntheticConfig::mnist();
   data_cfg.n_train = 1000;

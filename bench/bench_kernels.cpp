@@ -1,125 +1,208 @@
-// Kernel microbenchmarks (google-benchmark): GEMM, conv forward, quantize /
-// dequantize / bit injection throughput, and end-to-end inference latency
-// with and without bit errors — supporting the paper's claim that RandBET
-// "does not affect inference" (bit errors are a memory phenomenon, not a
-// compute one).
-#include <benchmark/benchmark.h>
+// Compute-backend microbenchmark: reference vs blocked kernels.
+//
+// Emits a single JSON object on stdout so future PRs can track the compute
+// hot path. Sections:
+//   * gemm        — GFLOP/s grid over square sizes (plus a conv-shaped
+//                   rectangular case) for each backend, single-threaded, and
+//                   the blocked backend with intra-GEMM sharding. The
+//                   acceptance number is speedup_128 (blocked vs reference
+//                   at 128^3, one core): >= 3x.
+//   * gemm_variants — gemm_at / gemm_bt parity of the win at 128^3.
+//   * conv        — forward latency at batch 8 on one core: reference
+//                   per-image lowering vs blocked per-image (same GEMM, old
+//                   lowering) vs blocked batch-coalesced (one im2col + one
+//                   GEMM across the batch). coalesced_speedup_vs_reference
+//                   is the acceptance number (>= 1.5x); the per-image
+//                   blocked column isolates how much of it is coalescing
+//                   rather than the faster GEMM.
+//   * end_to_end  — clean-evaluation throughput (images/s) of the paper's
+//                   default model under each backend.
+//
+// Timings are wall-clock medians-of-one (~0.3s windows); the JSON also
+// carries the tile sizes and thread count so regressions are attributable.
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "ber.h"
 
 namespace {
 
 using namespace ber;
+using Clock = std::chrono::steady_clock;
 
-void BM_Gemm(benchmark::State& state) {
-  const long n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::randn({n, n}, rng);
-  Tensor b = Tensor::randn({n, n}, rng);
-  Tensor c({n, n});
-  for (auto _ : state) {
-    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+// Runs fn repeatedly until ~0.3s elapsed (at least twice); returns seconds
+// per call.
+template <typename Fn>
+double seconds_per_call(const Fn& fn) {
+  fn();  // warm-up (also converges the scratch arena)
+  int iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.3 || iters < 2);
+  return elapsed / iters;
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_ConvForward(benchmark::State& state) {
-  Rng rng(2);
-  Conv2d conv(16, 32, 3, 1, 1);
-  for (Param* p : conv.params()) {
-    for (long i = 0; i < p->value.numel(); ++i) p->value[i] = rng.normal() * 0.1f;
-  }
-  Tensor x = Tensor::randn({8, 16, 12, 12}, rng);
-  for (auto _ : state) {
-    Tensor y = conv.forward(x, false);
-    benchmark::DoNotOptimize(y.data());
-  }
+double gflops(long m, long n, long k, double sec) {
+  return 2.0 * static_cast<double>(m) * n * k / sec / 1e9;
 }
-BENCHMARK(BM_ConvForward);
 
-void BM_Quantize(benchmark::State& state) {
-  Rng rng(3);
-  std::vector<float> w(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
-  const QuantScheme scheme = QuantScheme::rquant(8);
-  for (auto _ : state) {
-    QuantizedTensor qt = quantize(w, scheme);
-    benchmark::DoNotOptimize(qt.codes.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Quantize)->Arg(1 << 14)->Arg(1 << 18);
-
-void BM_Dequantize(benchmark::State& state) {
-  Rng rng(4);
-  std::vector<float> w(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
-  QuantizedTensor qt = quantize(w, QuantScheme::rquant(8));
-  std::vector<float> out(w.size());
-  for (auto _ : state) {
-    dequantize(qt, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Dequantize)->Arg(1 << 14)->Arg(1 << 18);
-
-void BM_InjectBitErrors(benchmark::State& state) {
-  Rng rng(5);
-  std::vector<float> w(1 << 16);
-  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
-  NetSnapshot base;
-  base.tensors.push_back(quantize(w, QuantScheme::rquant(8)));
-  base.offsets.push_back(0);
-  BitErrorConfig cfg;
-  cfg.p = static_cast<double>(state.range(0)) / 10000.0;
-  std::uint64_t chip = 0;
-  for (auto _ : state) {
-    NetSnapshot snap = base;
-    inject_random_bit_errors(snap, cfg, ++chip);
-    benchmark::DoNotOptimize(snap.tensors[0].codes.data());
-  }
-  state.SetItemsProcessed(state.iterations() * (1 << 16) * 8);
-}
-BENCHMARK(BM_InjectBitErrors)->Arg(10)->Arg(100)->Arg(250);  // p = 0.1/1/2.5 %
-
-// Inference latency is IDENTICAL with and without bit errors: errors perturb
-// the stored weights once; the forward pass does the same work.
-void BM_InferenceClean(benchmark::State& state) {
-  Rng rng(6);
-  ModelConfig mc;
-  auto model = build_model(mc);
-  he_init(*model, rng);
-  Tensor x = Tensor::randn({1, 3, 12, 12}, rng);
-  for (auto _ : state) {
-    Tensor y = model->forward(x, false);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_InferenceClean);
-
-void BM_InferenceWithBitErrors(benchmark::State& state) {
-  Rng rng(7);
-  ModelConfig mc;
-  auto model = build_model(mc);
-  he_init(*model, rng);
-  // Perturb the deployed weights once (the low-voltage scenario).
-  NetQuantizer quantizer(QuantScheme::rquant(8));
-  NetSnapshot snap = quantizer.quantize(model->params());
-  BitErrorConfig cfg;
-  cfg.p = 0.01;
-  inject_random_bit_errors(snap, cfg, 42);
-  quantizer.write_dequantized(snap, model->params());
-  Tensor x = Tensor::randn({1, 3, 12, 12}, rng);
-  for (auto _ : state) {
-    Tensor y = model->forward(x, false);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_InferenceWithBitErrors);
+struct GemmCase {
+  long m, n, k;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using kernels::BlockedBackend;
+  const kernels::Backend& ref = kernels::backend("reference");
+  const BlockedBackend blocked1(/*threads=*/1);  // the single-core story
+  const kernels::Backend& blocked_mt = kernels::backend("blocked");
+  const int threads = default_threads();
+  Rng rng(1);
+
+  std::printf("{\"bench\":\"kernels\",\"threads\":%d,\"mr\":%ld,\"nr\":%ld,",
+              threads, BlockedBackend::mr(), BlockedBackend::nr());
+
+  // ------------------------------------------------------------- gemm ---
+  const std::vector<GemmCase> cases{
+      {32, 32, 32}, {64, 64, 64}, {128, 128, 128}, {256, 256, 256},
+      {32, 1152, 144}};  // conv-shaped: [out_c, N*OH*OW, in*k*k] at batch 8
+  double speedup_128 = 0.0;
+  std::printf("\"gemm\":[");
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto [m, n, k] = cases[ci];
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c({m, n});
+    const double ref_sec = seconds_per_call(
+        [&] { ref.gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data()); });
+    const double blk_sec = seconds_per_call([&] {
+      blocked1.gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    });
+    const double mt_sec = seconds_per_call([&] {
+      blocked_mt.gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    });
+    const double speedup = ref_sec / blk_sec;
+    if (m == 128 && n == 128 && k == 128) speedup_128 = speedup;
+    std::printf("%s{\"m\":%ld,\"n\":%ld,\"k\":%ld,"
+                "\"reference_gflops\":%.2f,\"blocked_gflops\":%.2f,"
+                "\"blocked_mt_gflops\":%.2f,\"blocked_speedup\":%.2f}",
+                ci ? "," : "", m, n, k, gflops(m, n, k, ref_sec),
+                gflops(m, n, k, blk_sec), gflops(m, n, k, mt_sec), speedup);
+  }
+  std::printf("],\"gemm_blocked_speedup_128\":%.2f,", speedup_128);
+
+  // --------------------------------------------------- gemm variants ---
+  {
+    const long m = 128, n = 128, k = 128;
+    Tensor at = Tensor::randn({k, m}, rng);
+    Tensor bt = Tensor::randn({n, k}, rng);
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c({m, n});
+    const double ref_at = seconds_per_call([&] {
+      ref.gemm_at(m, n, k, 1.0f, at.data(), b.data(), 0.0f, c.data());
+    });
+    const double blk_at = seconds_per_call([&] {
+      blocked1.gemm_at(m, n, k, 1.0f, at.data(), b.data(), 0.0f, c.data());
+    });
+    const double ref_bt = seconds_per_call([&] {
+      ref.gemm_bt(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, c.data());
+    });
+    const double blk_bt = seconds_per_call([&] {
+      blocked1.gemm_bt(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, c.data());
+    });
+    std::printf("\"gemm_variants\":[");
+    std::printf("{\"variant\":\"at\",\"reference_gflops\":%.2f,"
+                "\"blocked_gflops\":%.2f,\"blocked_speedup\":%.2f},",
+                gflops(m, n, k, ref_at), gflops(m, n, k, blk_at),
+                ref_at / blk_at);
+    std::printf("{\"variant\":\"bt\",\"reference_gflops\":%.2f,"
+                "\"blocked_gflops\":%.2f,\"blocked_speedup\":%.2f}],",
+                gflops(m, n, k, ref_bt), gflops(m, n, k, blk_bt),
+                ref_bt / blk_bt);
+  }
+
+  // ------------------------------------------------------------- conv ---
+  {
+    const long batch = 8;
+    Conv2d conv(16, 32, 3, 1, 1);
+    for (Param* p : conv.params()) {
+      for (long i = 0; i < p->value.numel(); ++i) {
+        p->value[i] = rng.normal() * 0.1f;
+      }
+    }
+    Tensor x = Tensor::randn({batch, 16, 12, 12}, rng);
+    // Blocked GEMM but the old per-image lowering: isolates the coalescing
+    // gain from the GEMM gain.
+    class BlockedPerImage final : public kernels::Backend {
+     public:
+      std::string name() const override { return "blocked_per_image"; }
+      void gemm(long m, long n, long k, float alpha, const float* a,
+                const float* b, float beta, float* c) const override {
+        inner_.gemm(m, n, k, alpha, a, b, beta, c);
+      }
+      void gemm_at(long m, long n, long k, float alpha, const float* a,
+                   const float* b, float beta, float* c) const override {
+        inner_.gemm_at(m, n, k, alpha, a, b, beta, c);
+      }
+      void gemm_bt(long m, long n, long k, float alpha, const float* a,
+                   const float* b, float beta, float* c) const override {
+        inner_.gemm_bt(m, n, k, alpha, a, b, beta, c);
+      }
+      bool coalesced_conv() const override { return false; }
+
+     private:
+      BlockedBackend inner_{/*threads=*/1};
+    } blocked_per_image;
+
+    const double ref_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(ref);
+      Tensor y = conv.forward(x, false);
+    });
+    const double blk_img_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(blocked_per_image);
+      Tensor y = conv.forward(x, false);
+    });
+    const double blk_coal_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(blocked1);
+      Tensor y = conv.forward(x, false);
+    });
+    std::printf("\"conv\":{\"batch\":%ld,\"reference_per_image_us\":%.1f,"
+                "\"blocked_per_image_us\":%.1f,\"blocked_coalesced_us\":%.1f,"
+                "\"coalesced_speedup_vs_reference\":%.2f,"
+                "\"coalesced_speedup_vs_blocked_per_image\":%.2f},",
+                batch, ref_sec * 1e6, blk_img_sec * 1e6, blk_coal_sec * 1e6,
+                ref_sec / blk_coal_sec, blk_img_sec / blk_coal_sec);
+  }
+
+  // ------------------------------------------------------- end to end ---
+  {
+    Rng mrng(7);
+    ModelConfig mc;
+    auto model = build_model(mc);
+    he_init(*model, mrng);
+    SyntheticConfig dc = SyntheticConfig::cifar10();
+    dc.n_test = 256;
+    Dataset data = make_synthetic(dc, /*train=*/false);
+    const long images = data.size();
+    const double ref_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(ref);
+      evaluate(*model, data, /*batch=*/64);
+    });
+    const double blk_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(blocked1);
+      evaluate(*model, data, /*batch=*/64);
+    });
+    std::printf("\"end_to_end\":{\"images\":%ld,"
+                "\"reference_images_per_sec\":%.0f,"
+                "\"blocked_images_per_sec\":%.0f,\"blocked_speedup\":%.2f}}\n",
+                images, images / ref_sec, images / blk_sec, ref_sec / blk_sec);
+  }
+  return 0;
+}

@@ -35,6 +35,11 @@ double seconds_since(Clock::time_point start) {
 }  // namespace
 
 int main() {
+  // The deterministic JSON fields (planner grid, chosen operating point,
+  // degradation drill) are bit-reproducible only on the pinned reference
+  // backend; throughput numbers would survive a backend switch, the cached
+  // training checkpoint would not.
+  kernels::set_default_backend("reference");
   const bool fast = fast_mode();
 
   // ------------------------------------------------------------- model ----

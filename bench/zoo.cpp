@@ -225,8 +225,12 @@ std::string artifact_path(const Spec& s) {
   return artifacts_dir() + "/" + s.name + ".model";
 }
 
-// Trains the spec and writes the checkpoint (no memoization).
+// Trains the spec and writes the checkpoint (no memoization). Pinned to the
+// reference backend: cached artifacts must be identical no matter which
+// backend the surrounding process runs, or the zoo cache would silently mix
+// training histories.
 void train_to_disk(const Spec& s) {
+  const kernels::ScopedBackend backend_guard(kernels::backend("reference"));
   auto model = build_model(s.model);
   const TrainStats stats =
       train(*model, train_set(s.dataset), test_set(s.dataset), s.train_cfg);

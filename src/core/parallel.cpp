@@ -16,6 +16,18 @@ int default_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+bool in_parallel_worker() { return tls_in_worker; }
+
+ParallelWorkerScope::ParallelWorkerScope() : prev_(tls_in_worker) {
+  tls_in_worker = true;
+}
+
+ParallelWorkerScope::~ParallelWorkerScope() { tls_in_worker = prev_; }
+
 void parallel_for(std::int64_t n, int threads,
                   const std::function<void(std::int64_t)>& fn) {
   if (n <= 0) return;
@@ -33,6 +45,7 @@ void parallel_for(std::int64_t n, int threads,
     const std::int64_t end = std::min<std::int64_t>(begin + chunk, n);
     if (begin >= end) break;
     workers.emplace_back([&fn, begin, end] {
+      const ParallelWorkerScope worker_mark;
       for (std::int64_t i = begin; i < end; ++i) fn(i);
     });
   }

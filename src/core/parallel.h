@@ -23,4 +23,23 @@ void parallel_for(std::int64_t n, int threads,
 // Convenience overload using default_threads().
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
+// True on threads spawned by parallel_for (or marked with
+// ParallelWorkerScope). Lets inner layers — e.g. the blocked GEMM's
+// intra-call sharding — fall back to serial instead of oversubscribing the
+// machine T^2 when they already run inside a coarse-grained worker.
+bool in_parallel_worker();
+
+// RAII marker for worker threads created outside parallel_for (serving
+// replicas, custom pools).
+class ParallelWorkerScope {
+ public:
+  ParallelWorkerScope();
+  ~ParallelWorkerScope();
+  ParallelWorkerScope(const ParallelWorkerScope&) = delete;
+  ParallelWorkerScope& operator=(const ParallelWorkerScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
 }  // namespace ber

@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "eval/metrics.h"
+#include "kernels/backend.h"
 #include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
 
@@ -36,14 +37,18 @@ RobustResult summarize(std::vector<float> errs,
 // Runs fn(clone, pristine, trial) for trials [0, n) on a pool of workers;
 // each worker owns one model clone plus — when `need_pristine` — a stash of
 // its pristine weights (only the float-space path restores between trials;
-// the quantizer paths fully overwrite, so skip the copy there).
+// the quantizer paths fully overwrite, so skip the copy there). The
+// caller's compute backend (thread-scoped overrides included) is captured
+// here and re-installed on every worker thread.
 template <typename PerTrial>
 void run_trials(Sequential& model, int n_trials, bool need_pristine,
                 const PerTrial& fn) {
+  const kernels::Backend& backend = kernels::current_backend();
   const int threads =
       std::max(1, std::min(default_threads(), std::max(1, n_trials)));
   const std::int64_t chunk = (n_trials + threads - 1) / threads;
   parallel_for(threads, threads, [&](std::int64_t t) {
+    const kernels::ScopedBackend backend_guard(backend);
     const std::int64_t lo = t * chunk;
     const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n_trials);
     if (lo >= hi) return;

@@ -1,0 +1,202 @@
+// NOTE: this translation unit is compiled with -march=native when the
+// compiler supports it (see CMakeLists.txt) so the micro-kernel can use the
+// widest vectors the build machine has. Nothing else in the library gets
+// that flag: the reference kernels must keep the exact seed codegen.
+#include "kernels/blocked_backend.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/parallel.h"
+#include "kernels/arena.h"
+
+namespace ber::kernels {
+
+namespace {
+
+// Register tile: MR x NR accumulators must fit the register file together
+// with one A broadcast and NR/vector-width B loads.
+#if defined(__AVX512F__)
+constexpr long kMR = 8, kNR = 32;  // 16 zmm accumulators
+#elif defined(__AVX__)
+constexpr long kMR = 6, kNR = 16;  // 12 ymm accumulators
+#else
+constexpr long kMR = 4, kNR = 8;  // 8 xmm accumulators (baseline SSE2)
+#endif
+
+// Cache blocking: A block [MC x KC] targets L2, B panel [KC x NC] L3.
+constexpr long kMC = 120;   // multiple of every kMR above
+constexpr long kKC = 256;
+constexpr long kNC = 2048;  // multiple of every kNR above
+
+// Below this many FLOPs (2mnk) sharding costs more than it saves: thread
+// spawn + join in core/parallel is ~10us.
+constexpr double kShardMinFlops = 8e6;
+
+// Packs an [mc x kc] block of A into kMR-row panels, zero-padded to kMR:
+// panel i0 stores, for each p, the kMR values A(i0..i0+MR, p) contiguously.
+// A(i, p) of the block is src[i*i_stride + p*p_stride].
+void pack_a(const float* src, long i_stride, long p_stride, long mc, long kc,
+            float* __restrict dst) {
+  for (long i0 = 0; i0 < mc; i0 += kMR) {
+    const long ib = std::min(kMR, mc - i0);
+    const float* s = src + i0 * i_stride;
+    for (long p = 0; p < kc; ++p) {
+      for (long i = 0; i < ib; ++i) dst[i] = s[i * i_stride + p * p_stride];
+      for (long i = ib; i < kMR; ++i) dst[i] = 0.0f;
+      dst += kMR;
+    }
+  }
+}
+
+// Packs a [kc x nc] block of B into kNR-column panels, zero-padded to kNR:
+// panel j0 stores, for each p, the kNR values B(p, j0..j0+NR) contiguously.
+// B(p, j) of the block is src[p*p_stride + j*j_stride].
+void pack_b(const float* src, long p_stride, long j_stride, long kc, long nc,
+            float* __restrict dst) {
+  for (long j0 = 0; j0 < nc; j0 += kNR) {
+    const long jb = std::min(kNR, nc - j0);
+    const float* s = src + j0 * j_stride;
+    for (long p = 0; p < kc; ++p) {
+      const float* sp = s + p * p_stride;
+      if (j_stride == 1) {
+        std::memcpy(dst, sp, sizeof(float) * static_cast<std::size_t>(jb));
+      } else {
+        for (long j = 0; j < jb; ++j) dst[j] = sp[j * j_stride];
+      }
+      for (long j = jb; j < kNR; ++j) dst[j] = 0.0f;
+      dst += kNR;
+    }
+  }
+}
+
+// C[0..mr, 0..nr] += alpha * sum_p ap[p][:] (x) bp[p][:]. The packed panels
+// are zero-padded, so the hot loop always runs the full kMR x kNR tile with
+// compile-time trip counts; only the writeback respects the edges.
+void micro_kernel(long kc, const float* __restrict ap,
+                  const float* __restrict bp, float* c, long ldc, long mr,
+                  long nr, float alpha) {
+  float acc[kMR][kNR];
+  for (long i = 0; i < kMR; ++i) {
+    for (long j = 0; j < kNR; ++j) acc[i][j] = 0.0f;
+  }
+  for (long p = 0; p < kc; ++p) {
+    const float* __restrict a = ap + p * kMR;
+    const float* __restrict b = bp + p * kNR;
+    for (long i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      for (long j = 0; j < kNR; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (long i = 0; i < mr; ++i) {
+    float* __restrict ci = c + i * ldc;
+    for (long j = 0; j < nr; ++j) ci[j] += alpha * acc[i][j];
+  }
+}
+
+// The ic/jr/ir loops of the blocked nest over C rows [m0, m1) for one
+// already-packed [kc x nc] B panel. A panels are packed from this thread's
+// arena; shards own disjoint C rows, so no synchronization.
+void gemm_rows(long m0, long m1, long kc, const float* a, long a_is,
+               long a_ps, const float* bpack, float* c, long ldc, long jc,
+               long nc, float alpha) {
+  Arena& arena = tls_arena();
+  ArenaScope scope(arena);
+  float* apack = arena.alloc(static_cast<std::size_t>(kMC * kKC));
+  for (long ic = m0; ic < m1; ic += kMC) {
+    const long mc = std::min(kMC, m1 - ic);
+    pack_a(a + ic * a_is, a_is, a_ps, mc, kc, apack);
+    for (long jr = 0; jr < nc; jr += kNR) {
+      const long nr = std::min(kNR, nc - jr);
+      const float* bp = bpack + (jr / kNR) * (kc * kNR);
+      for (long ir = 0; ir < mc; ir += kMR) {
+        micro_kernel(kc, apack + (ir / kMR) * (kc * kMR), bp,
+                     c + (ic + ir) * ldc + jc + jr, ldc,
+                     std::min(kMR, mc - ir), nr, alpha);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+long BlockedBackend::mr() { return kMR; }
+long BlockedBackend::nr() { return kNR; }
+
+void BlockedBackend::run(long m, long n, long k, float alpha, const float* a,
+                         long a_is, long a_ps, const float* b, long b_ps,
+                         long b_js, float beta, float* c) const {
+  // Same beta semantics as the reference kernels.
+  if (beta == 0.0f) {
+    std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
+  } else if (beta != 1.0f) {
+    for (long i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == 0.0f) return;
+
+  // Sharding geometry. Inside an evaluator/serving worker (coarse-grained
+  // parallelism already saturates the cores) auto mode stays serial instead
+  // of oversubscribing T^2; an explicit thread count is always honored.
+  const int threads =
+      threads_ > 0 ? threads_
+                   : (in_parallel_worker() ? 1 : default_threads());
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const bool threaded =
+      threads > 1 && flops >= kShardMinFlops && m >= 2 * kMR;
+  // Contiguous row shards rounded to the register tile; each C element's
+  // accumulation order is shard-independent (the pc loop below is outside
+  // the row split), so results are bit-identical for any shard count.
+  const long per = (m + threads - 1) / threads;
+  const long step = ((per + kMR - 1) / kMR) * kMR;
+  const long shards = (m + step - 1) / step;
+
+  Arena& arena = tls_arena();
+  ArenaScope scope(arena);
+  const long nc_cap = std::min(kNC, ((n + kNR - 1) / kNR) * kNR);
+  float* bpack = arena.alloc(static_cast<std::size_t>(kKC * nc_cap));
+
+  for (long jc = 0; jc < n; jc += kNC) {
+    const long nc = std::min(kNC, n - jc);
+    for (long pc = 0; pc < k; pc += kKC) {
+      const long kc = std::min(kKC, k - pc);
+      // B is packed ONCE per (jc, pc) panel, on the caller; row shards only
+      // read it (arena chunks never move, so the pointer stays valid).
+      pack_b(b + pc * b_ps + jc * b_js, b_ps, b_js, kc, nc, bpack);
+      const float* a_panel = a + pc * a_ps;
+      if (threaded) {
+        parallel_for(shards, threads, [&](std::int64_t s) {
+          const long lo = s * step;
+          const long hi = std::min(m, lo + step);
+          gemm_rows(lo, hi, kc, a_panel, a_is, a_ps, bpack, c, n, jc, nc,
+                    alpha);
+        });
+      } else {
+        gemm_rows(0, m, kc, a_panel, a_is, a_ps, bpack, c, n, jc, nc, alpha);
+      }
+    }
+  }
+}
+
+void BlockedBackend::gemm(long m, long n, long k, float alpha, const float* a,
+                          const float* b, float beta, float* c) const {
+  run(m, n, k, alpha, a, /*a_is=*/k, /*a_ps=*/1, b, /*b_ps=*/n, /*b_js=*/1,
+      beta, c);
+}
+
+void BlockedBackend::gemm_at(long m, long n, long k, float alpha,
+                             const float* a, const float* b, float beta,
+                             float* c) const {
+  // A stored [k,m]: A^T(i,p) = a[p*m + i].
+  run(m, n, k, alpha, a, /*a_is=*/1, /*a_ps=*/m, b, /*b_ps=*/n, /*b_js=*/1,
+      beta, c);
+}
+
+void BlockedBackend::gemm_bt(long m, long n, long k, float alpha,
+                             const float* a, const float* b, float beta,
+                             float* c) const {
+  // B stored [n,k]: B^T(p,j) = b[j*k + p].
+  run(m, n, k, alpha, a, /*a_is=*/k, /*a_ps=*/1, b, /*b_ps=*/1, /*b_js=*/k,
+      beta, c);
+}
+
+}  // namespace ber::kernels

@@ -1,0 +1,53 @@
+// Cache-blocked, packed GEMM with an MR x NR register micro-kernel.
+//
+// BLIS-style three-level blocking: B panels of [KC x NC] and A panels of
+// [MC x KC] are packed into contiguous, tile-ordered scratch (from the
+// thread-local arena) so the micro-kernel streams both operands linearly
+// and keeps a full MR x NR accumulator block in registers. One packing
+// routine parameterized by source strides serves all three variants
+// (gemm / gemm_at / gemm_bt) — a transpose is just a different stride pair.
+//
+// Determinism: for fixed (m, n, k), every C element is accumulated in the
+// same order regardless of shard count — KC blocks in sequence, then
+// sequential p within a block — so the optional intra-GEMM sharding over
+// core/parallel (contiguous row ranges of C) is bit-identical to the
+// single-threaded result for ANY thread count. Results differ from the
+// reference backend only in summation order (and FMA contraction when the
+// translation unit is compiled with -march=native); parity is within ~1e-4
+// relative error, tested in tests/test_kernels.cpp.
+#pragma once
+
+#include "kernels/backend.h"
+
+namespace ber::kernels {
+
+class BlockedBackend final : public Backend {
+ public:
+  // threads == 0: use default_threads() at call time. Sharding only kicks
+  // in above a FLOP threshold, so small GEMMs never pay thread spawns.
+  explicit BlockedBackend(int threads = 0) : threads_(threads) {}
+
+  std::string name() const override { return "blocked"; }
+  void gemm(long m, long n, long k, float alpha, const float* a,
+            const float* b, float beta, float* c) const override;
+  void gemm_at(long m, long n, long k, float alpha, const float* a,
+               const float* b, float beta, float* c) const override;
+  void gemm_bt(long m, long n, long k, float alpha, const float* a,
+               const float* b, float beta, float* c) const override;
+  // One im2col + one GEMM across the whole batch.
+  bool coalesced_conv() const override { return true; }
+
+  // Micro-kernel tile sizes (compile-time, ISA-dependent); exposed so tests
+  // can pick shapes that are deliberately not tile multiples.
+  static long mr();
+  static long nr();
+
+ private:
+  void run(long m, long n, long k, float alpha, const float* a, long a_is,
+           long a_ps, const float* b, long b_ps, long b_js, float beta,
+           float* c) const;
+
+  int threads_;
+};
+
+}  // namespace ber::kernels

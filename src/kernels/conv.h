@@ -1,0 +1,58 @@
+// Convolution lowering through a compute backend.
+//
+// Two strategies, chosen by Backend::coalesced_conv():
+//
+//   per-image  — the seed path: for each image, im2col to [C*k*k, OH*OW]
+//                and one GEMM. Bit-exact with the original Conv2d loops
+//                under the reference backend.
+//   coalesced  — ONE column matrix [C*k*k, N*OH*OW] (image i occupies
+//                columns [i*OH*OW, (i+1)*OH*OW)) and ONE GEMM for the whole
+//                batch, so dynamic batching pays even on a single core: the
+//                GEMM amortizes A-packing of the weights over N images and
+//                runs at full tile occupancy instead of N skinny calls.
+//                Backward is coalesced the same way (one gemm_bt for dW,
+//                one gemm_at for dcol).
+//
+// The column matrix doubles as the backward cache: in training mode the
+// caller passes a Tensor to retain ([N, C*k*k, OH*OW] per-image,
+// [C*k*k, N*OH*OW] coalesced — backward infers the layout from the rank);
+// in inference mode it lives in the thread-local arena and no per-call heap
+// allocation or layer-held cache survives the call.
+#pragma once
+
+#include "kernels/backend.h"
+#include "tensor/tensor.h"
+
+namespace ber::kernels {
+
+struct ConvShape {
+  long n;        // batch
+  long in_c, h, w;
+  long out_c;
+  long kernel;   // square
+  long stride;
+  long pad;
+
+  long oh() const;
+  long ow() const;
+  long spatial() const { return oh() * ow(); }        // OH*OW
+  long cols_k() const { return in_c * kernel * kernel; }  // GEMM inner dim
+};
+
+// Forward: x [N, in_c, H, W], weight [out_c, in_c, k, k], bias [out_c] (may
+// be null), y [N, out_c, OH, OW]. If cols_cache is non-null it is filled
+// with the column matrix for backward; its Tensor must already have the
+// layout-appropriate shape (Conv2d handles this).
+void conv2d_forward(const Backend& bk, const ConvShape& s, const float* x,
+                    const float* weight, const float* bias, float* y,
+                    Tensor* cols_cache);
+
+// Backward: cols is the cache written by forward (layout inferred from its
+// rank), grad_out [N, out_c, OH, OW]. Accumulates into grad_weight /
+// grad_bias (grad_bias may be null); writes grad_in [N, in_c, H, W], which
+// must be pre-zeroed by the caller.
+void conv2d_backward(const Backend& bk, const ConvShape& s, const Tensor& cols,
+                     const float* grad_out, const float* weight,
+                     float* grad_weight, float* grad_bias, float* grad_in);
+
+}  // namespace ber::kernels

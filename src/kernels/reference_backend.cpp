@@ -1,0 +1,25 @@
+#include "kernels/reference_backend.h"
+
+#include "tensor/ops.h"
+
+namespace ber::kernels {
+
+void ReferenceBackend::gemm(long m, long n, long k, float alpha,
+                            const float* a, const float* b, float beta,
+                            float* c) const {
+  ber::gemm(m, n, k, alpha, a, b, beta, c);
+}
+
+void ReferenceBackend::gemm_at(long m, long n, long k, float alpha,
+                               const float* a, const float* b, float beta,
+                               float* c) const {
+  ber::gemm_at(m, n, k, alpha, a, b, beta, c);
+}
+
+void ReferenceBackend::gemm_bt(long m, long n, long k, float alpha,
+                               const float* a, const float* b, float beta,
+                               float* c) const {
+  ber::gemm_bt(m, n, k, alpha, a, b, beta, c);
+}
+
+}  // namespace ber::kernels

@@ -1,0 +1,25 @@
+// The reference backend: delegates to the original tensor/ops.h loops.
+//
+// This is the determinism anchor of the repo — bit-exact with the seed
+// implementation, so every fixed-seed paper artifact reproduces unchanged.
+// Registered as "reference" and used as the process default.
+#pragma once
+
+#include "kernels/backend.h"
+
+namespace ber::kernels {
+
+class ReferenceBackend final : public Backend {
+ public:
+  std::string name() const override { return "reference"; }
+  void gemm(long m, long n, long k, float alpha, const float* a,
+            const float* b, float beta, float* c) const override;
+  void gemm_at(long m, long n, long k, float alpha, const float* a,
+               const float* b, float beta, float* c) const override;
+  void gemm_bt(long m, long n, long k, float alpha, const float* a,
+               const float* b, float beta, float* c) const override;
+  // Per-image conv lowering: matches the seed Conv2d loop exactly.
+  bool coalesced_conv() const override { return false; }
+};
+
+}  // namespace ber::kernels

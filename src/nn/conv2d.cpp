@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "kernels/backend.h"
+#include "kernels/conv.h"
 #include "tensor/ops.h"
 
 namespace ber {
@@ -31,64 +33,52 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   if (x.dim() != 4 || x.shape(1) != in_channels_) {
     throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
   }
-  const long n = x.shape(0), h = x.shape(2), w = x.shape(3);
-  const long oh = conv_out_size(h, kernel_, stride_, pad_);
-  const long ow = conv_out_size(w, kernel_, stride_, pad_);
-  const long k = in_channels_ * kernel_ * kernel_;
-  const long spatial = oh * ow;
-
-  Tensor cols({n, k, spatial});
-  Tensor out({n, out_channels_, oh, ow});
-  for (long i = 0; i < n; ++i) {
-    float* col = cols.data() + i * k * spatial;
-    im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
-           kernel_, stride_, pad_, col);
-    // out_i [out, spatial] = W [out, k] x col [k, spatial]
-    gemm(out_channels_, spatial, k, 1.0f, weight_.value.data(), col, 0.0f,
-         out.data() + i * out_channels_ * spatial);
-    if (has_bias_) {
-      for (long c = 0; c < out_channels_; ++c) {
-        float* plane = out.data() + (i * out_channels_ + c) * spatial;
-        const float b = bias_.value[c];
-        for (long s = 0; s < spatial; ++s) plane[s] += b;
-      }
-    }
-  }
+  const kernels::Backend& bk = kernels::current_backend();
+  const kernels::ConvShape s{x.shape(0), in_channels_, x.shape(2), x.shape(3),
+                             out_channels_, kernel_,   stride_,    pad_};
+  Tensor out({s.n, out_channels_, s.oh(), s.ow()});
+  const float* bias = has_bias_ ? bias_.value.data() : nullptr;
   if (training) {
+    // Retain the column matrix for backward; reuse the previous step's
+    // allocation when the shape (and lowering layout) is unchanged.
+    const std::vector<long> want =
+        bk.coalesced_conv()
+            ? std::vector<long>{s.cols_k(), s.n * s.spatial()}
+            : std::vector<long>{s.n, s.cols_k(), s.spatial()};
+    if (cols_.shape() != want) cols_ = Tensor(want);
+    kernels::conv2d_forward(bk, s, x.data(), weight_.value.data(), bias,
+                            out.data(), &cols_);
     input_ = x;
-    cols_ = std::move(cols);
+  } else {
+    // Inference: the column matrix lives in the thread-local arena, and any
+    // stale training caches (e.g. copied in when a trained model was cloned
+    // for an evaluation sweep or a serving replica) are released.
+    kernels::conv2d_forward(bk, s, x.data(), weight_.value.data(), bias,
+                            out.data(), nullptr);
+    if (input_.numel() != 0 || cols_.numel() != 0) {
+      input_ = Tensor();
+      cols_ = Tensor();
+    }
   }
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  const long n = input_.shape(0), h = input_.shape(2), w = input_.shape(3);
-  const long oh = grad_out.shape(2), ow = grad_out.shape(3);
-  const long k = in_channels_ * kernel_ * kernel_;
-  const long spatial = oh * ow;
-
-  Tensor grad_in(input_.shape());
-  Tensor grad_col({k, spatial});
-  for (long i = 0; i < n; ++i) {
-    const float* go = grad_out.data() + i * out_channels_ * spatial;
-    const float* col = cols_.data() + i * k * spatial;
-    // dW [out, k] += gO [out, spatial] x col^T [spatial, k]
-    gemm_bt(out_channels_, k, spatial, 1.0f, go, col, 1.0f,
-            weight_.grad.data());
-    if (has_bias_) {
-      for (long c = 0; c < out_channels_; ++c) {
-        const float* plane = go + c * spatial;
-        float acc = 0.0f;
-        for (long s = 0; s < spatial; ++s) acc += plane[s];
-        bias_.grad[c] += acc;
-      }
-    }
-    // dcol [k, spatial] = W^T [k, out] x gO [out, spatial]
-    gemm_at(k, spatial, out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
-            grad_col.data());
-    col2im(grad_col.data(), in_channels_, h, w, kernel_, kernel_, stride_,
-           pad_, grad_in.data() + i * in_channels_ * h * w);
+  if (input_.dim() != 4) {
+    throw std::logic_error("Conv2d::backward: no cached forward pass");
   }
+  // conv2d_backward infers the cached lowering from cols_'s rank, so it is
+  // safe (and numerically fine) if the current backend changed since
+  // forward — no pointer to a possibly-dead backend is retained.
+  const kernels::Backend& bk = kernels::current_backend();
+  const kernels::ConvShape s{input_.shape(0), in_channels_,  input_.shape(2),
+                             input_.shape(3), out_channels_, kernel_,
+                             stride_,         pad_};
+  Tensor grad_in(input_.shape());
+  kernels::conv2d_backward(bk, s, cols_, grad_out.data(),
+                           weight_.value.data(), weight_.grad.data(),
+                           has_bias_ ? bias_.grad.data() : nullptr,
+                           grad_in.data());
   return grad_in;
 }
 

@@ -1,4 +1,6 @@
-// 2-D convolution via im2col + GEMM, with full backward.
+// 2-D convolution lowered through the compute backend (kernels/conv.h):
+// per-image im2col + GEMM on the reference backend, batch-coalesced
+// (one column matrix + one GEMM for the whole batch) on the blocked one.
 #pragma once
 
 #include "nn/layer.h"
@@ -23,14 +25,25 @@ class Conv2d : public Layer {
   long out_channels() const { return out_channels_; }
   long kernel() const { return kernel_; }
 
+  // Bytes held by the backward caches (input + column matrix). Inference
+  // forwards release them — evaluation sweeps and serving replicas must not
+  // pin O(N*C*k^2*OH*OW) per layer; tested in test_kernels.cpp.
+  long cached_bytes() const {
+    return static_cast<long>(sizeof(float)) *
+           (input_.numel() + cols_.numel());
+  }
+
  private:
   long in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
   Param weight_;  // [out, in, k, k]
   Param bias_;    // [out]
-  // Cached for backward.
+  // Cached for backward (training mode only). cols_ layout depends on the
+  // backend that ran forward — [N, in*k*k, OH*OW] per-image, [in*k*k,
+  // N*OH*OW] coalesced — and backward infers the lowering from the rank,
+  // so forward and backward may legally run under different backends.
   Tensor input_;
-  Tensor cols_;  // [N, in*k*k, OH*OW]
+  Tensor cols_;
 };
 
 }  // namespace ber

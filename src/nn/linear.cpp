@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "kernels/backend.h"
 #include "tensor/ops.h"
 
 namespace ber {
@@ -28,23 +29,29 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   const long n = x.shape(0);
   Tensor out({n, out_features_});
   // out [n, out] = x [n, in] x W^T [in, out]; W stored [out, in].
-  gemm_bt(n, out_features_, in_features_, 1.0f, x.data(),
-          weight_.value.data(), 0.0f, out.data());
+  kernels::current_backend().gemm_bt(n, out_features_, in_features_, 1.0f,
+                                     x.data(), weight_.value.data(), 0.0f,
+                                     out.data());
   if (has_bias_) {
     for (long i = 0; i < n; ++i) {
       float* row = out.data() + i * out_features_;
       for (long j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
     }
   }
-  if (training) input_ = x;
+  if (training) {
+    input_ = x;
+  } else if (input_.numel() != 0) {
+    input_ = Tensor();  // release stale backward cache (cloned models)
+  }
   return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const long n = input_.shape(0);
+  const kernels::Backend& bk = kernels::current_backend();
   // dW [out, in] += gO^T [out, n] x X [n, in]
-  gemm_at(out_features_, in_features_, n, 1.0f, grad_out.data(),
-          input_.data(), 1.0f, weight_.grad.data());
+  bk.gemm_at(out_features_, in_features_, n, 1.0f, grad_out.data(),
+             input_.data(), 1.0f, weight_.grad.data());
   if (has_bias_) {
     for (long i = 0; i < n; ++i) {
       const float* row = grad_out.data() + i * out_features_;
@@ -53,8 +60,8 @@ Tensor Linear::backward(const Tensor& grad_out) {
   }
   // dX [n, in] = gO [n, out] x W [out, in]
   Tensor grad_in({n, in_features_});
-  gemm(n, in_features_, out_features_, 1.0f, grad_out.data(),
-       weight_.value.data(), 0.0f, grad_in.data());
+  bk.gemm(n, in_features_, out_features_, 1.0f, grad_out.data(),
+          weight_.value.data(), 0.0f, grad_in.data());
   return grad_in;
 }
 

@@ -20,6 +20,11 @@ class Linear : public Layer {
   long in_features() const { return in_features_; }
   long out_features() const { return out_features_; }
 
+  // Bytes held by the backward cache; inference forwards release it.
+  long cached_bytes() const {
+    return static_cast<long>(sizeof(float)) * input_.numel();
+  }
+
  private:
   long in_features_, out_features_;
   bool has_bias_;

@@ -1,10 +1,12 @@
 #include "nn/sequential.h"
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/serialize.h"
+#include "kernels/backend.h"
 
 namespace ber {
 
@@ -13,7 +15,8 @@ constexpr std::uint32_t kModelMagic = 0x4245524Du;  // "BERM"
 constexpr std::uint32_t kModelVersion = 1;
 }  // namespace
 
-Sequential::Sequential(const Sequential& other) {
+Sequential::Sequential(const Sequential& other)
+    : backend_(other.backend_), backend_ptr_(other.backend_ptr_) {
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
 }
@@ -23,16 +26,27 @@ Sequential& Sequential::operator=(const Sequential& other) {
   layers_.clear();
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  backend_ = other.backend_;
+  backend_ptr_ = other.backend_ptr_;
   return *this;
 }
 
+void Sequential::set_backend(const std::string& name) {
+  backend_ptr_ = name.empty() ? nullptr : &kernels::backend(name);
+  backend_ = name;
+}
+
 Tensor Sequential::forward(const Tensor& x, bool training) {
+  std::optional<kernels::ScopedBackend> guard;
+  if (backend_ptr_) guard.emplace(*backend_ptr_);
   Tensor cur = x;
   for (auto& l : layers_) cur = l->forward(cur, training);
   return cur;
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {
+  std::optional<kernels::ScopedBackend> guard;
+  if (backend_ptr_) guard.emplace(*backend_ptr_);
   Tensor cur = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     cur = (*it)->backward(cur);

@@ -10,6 +10,10 @@
 
 namespace ber {
 
+namespace kernels {
+class Backend;
+}
+
 class BinaryReader;
 class BinaryWriter;
 
@@ -39,6 +43,13 @@ class Sequential : public Layer {
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
+  // Per-model compute-backend preference: when set, forward/backward run
+  // under a kernels::ScopedBackend override on the calling thread. Empty
+  // (default) inherits kernels::current_backend(). Validated against the
+  // registry; copied by clone(), not part of the checkpoint signature.
+  void set_backend(const std::string& name);
+  const std::string& backend() const { return backend_; }
+
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
   const Layer& layer(std::size_t i) const { return *layers_[i]; }
@@ -66,6 +77,10 @@ class Sequential : public Layer {
   void read_params_and_buffers(BinaryReader& r);
 
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::string backend_;
+  // Resolved once in set_backend (registry backends live for the process),
+  // so forward/backward skip the registry mutex + map lookup per call.
+  const kernels::Backend* backend_ptr_ = nullptr;
 };
 
 // y = body(x) + x. Shapes must match (same channels / spatial size).

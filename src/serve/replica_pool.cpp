@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/parallel.h"
+#include "kernels/backend.h"
 #include "tensor/ops.h"
 
 namespace ber {
@@ -37,6 +39,7 @@ ReplicaPool::ReplicaPool(std::vector<Replica> replicas,
     : replicas_(std::move(replicas)),
       queue_(queue_config),
       monitor_(monitor),
+      backend_(&kernels::current_backend()),
       worker_stats_(replicas_.size()) {
   if (replicas_.empty()) {
     throw std::invalid_argument("ReplicaPool: need at least one replica");
@@ -73,6 +76,13 @@ void ReplicaPool::drain() {
 }
 
 void ReplicaPool::worker(std::size_t i) {
+  // Serve under the backend that was current when the pool was built, so a
+  // deployment can opt the whole fleet into the blocked kernels with one
+  // ScopedBackend around construction (per-model preferences still win).
+  // The worker marker keeps intra-GEMM sharding serial on these threads:
+  // one replica per core is already the right granularity.
+  const kernels::ScopedBackend backend_guard(*backend_);
+  const ParallelWorkerScope worker_mark;
   Replica& replica = replicas_[i];
   for (;;) {
     WorkBatch wb = queue_.pop();

@@ -29,6 +29,10 @@
 
 namespace ber {
 
+namespace kernels {
+class Backend;
+}
+
 struct ServingStats {
   long requests = 0;
   long images = 0;
@@ -73,6 +77,11 @@ class ReplicaPool {
   std::vector<Replica> replicas_;
   BatchQueue queue_;
   HealthMonitor* monitor_;
+  // Compute backend current at construction, re-installed on each worker.
+  // Like `monitor_`, it must outlive the pool — always true for registry
+  // backends; only a caller-owned backend installed via ScopedBackend at
+  // construction time carries a lifetime obligation.
+  const kernels::Backend* backend_;
 
   mutable std::mutex stats_mu_;
   struct WorkerStats {

@@ -75,12 +75,19 @@ void im2col(const float* img, long channels, long height, long width, long kh,
             long kw, long stride, long pad, float* col) {
   const long oh = conv_out_size(height, kh, stride, pad);
   const long ow = conv_out_size(width, kw, stride, pad);
+  im2col_ld(img, channels, height, width, kh, kw, stride, pad, col, oh * ow);
+}
+
+void im2col_ld(const float* img, long channels, long height, long width,
+               long kh, long kw, long stride, long pad, float* col, long ld) {
+  const long oh = conv_out_size(height, kh, stride, pad);
+  const long ow = conv_out_size(width, kw, stride, pad);
   long row = 0;
   for (long c = 0; c < channels; ++c) {
     const float* plane = img + c * height * width;
     for (long ki = 0; ki < kh; ++ki) {
       for (long kj = 0; kj < kw; ++kj, ++row) {
-        float* __restrict out = col + row * oh * ow;
+        float* __restrict out = col + row * ld;
         for (long y = 0; y < oh; ++y) {
           const long iy = y * stride - pad + ki;
           if (iy < 0 || iy >= height) {
@@ -103,12 +110,19 @@ void col2im(const float* col, long channels, long height, long width, long kh,
             long kw, long stride, long pad, float* img) {
   const long oh = conv_out_size(height, kh, stride, pad);
   const long ow = conv_out_size(width, kw, stride, pad);
+  col2im_ld(col, channels, height, width, kh, kw, stride, pad, img, oh * ow);
+}
+
+void col2im_ld(const float* col, long channels, long height, long width,
+               long kh, long kw, long stride, long pad, float* img, long ld) {
+  const long oh = conv_out_size(height, kh, stride, pad);
+  const long ow = conv_out_size(width, kw, stride, pad);
   long row = 0;
   for (long c = 0; c < channels; ++c) {
     float* plane = img + c * height * width;
     for (long ki = 0; ki < kh; ++ki) {
       for (long kj = 0; kj < kw; ++kj, ++row) {
-        const float* __restrict in = col + row * oh * ow;
+        const float* __restrict in = col + row * ld;
         for (long y = 0; y < oh; ++y) {
           const long iy = y * stride - pad + ki;
           if (iy < 0 || iy >= height) continue;

@@ -1,9 +1,10 @@
-// Compute kernels: GEMM, im2col/col2im and softmax utilities.
+// Reference compute kernels: GEMM, im2col/col2im and softmax utilities.
 //
-// These are the performance floor of the whole library: convolution forward/
-// backward lowers to im2col + GEMM. The GEMM is a cache-friendly ikj loop
-// that GCC auto-vectorizes (AVX2/AVX-512); good enough for the small models
-// used in the reproduction.
+// The GEMM here is the bit-exact seed implementation — a cache-friendly ikj
+// loop — retained as the "reference" backend of src/kernels/ (the blocked,
+// packed backend lives in kernels/blocked_backend.*). Layers route through
+// kernels::current_backend(); these free functions stay as the determinism
+// anchor for paper benches and as the parity oracle in tests.
 #pragma once
 
 #include "tensor/tensor.h"
@@ -30,10 +31,21 @@ void gemm_bt(long m, long n, long k, float alpha, const float* a,
 void im2col(const float* img, long channels, long height, long width, long kh,
             long kw, long stride, long pad, float* col);
 
+// im2col with an explicit row stride: row r of the column matrix is written
+// at col + r*ld (ld >= OH*OW). Lets batch-coalesced convolution scatter N
+// images into one [C*kh*kw, N*OH*OW] matrix, image i at column offset
+// i*OH*OW. im2col == im2col_ld with ld = OH*OW.
+void im2col_ld(const float* img, long channels, long height, long width,
+               long kh, long kw, long stride, long pad, float* col, long ld);
+
 // Adjoint of im2col: accumulates the column matrix back into the image
 // gradient buffer (which must be pre-zeroed by the caller).
 void col2im(const float* col, long channels, long height, long width, long kh,
             long kw, long stride, long pad, float* img);
+
+// col2im reading rows at col + r*ld — the adjoint of im2col_ld.
+void col2im_ld(const float* col, long channels, long height, long width,
+               long kh, long kw, long stride, long pad, float* img, long ld);
 
 // Output spatial size for conv/pool arithmetic.
 long conv_out_size(long in, long kernel, long stride, long pad);

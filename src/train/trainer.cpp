@@ -9,6 +9,7 @@
 #include "core/hash.h"
 #include "core/rng.h"
 #include "eval/metrics.h"
+#include "kernels/backend.h"
 #include "nn/init.h"
 #include "nn/loss.h"
 #include "quant/net_quantizer.h"
@@ -40,6 +41,11 @@ LossStats quantized_pass(Sequential& model, const NetQuantizer& quantizer,
 
 TrainStats train(Sequential& model, const Dataset& train_set,
                  const Dataset& test_set, const TrainConfig& config) {
+  // Per-run compute-backend override (config.backend); empty inherits the
+  // caller's current backend. Training runs on this thread only, so a
+  // thread-scoped override covers the whole run.
+  std::optional<kernels::ScopedBackend> backend_guard;
+  if (!config.backend.empty()) backend_guard.emplace(config.backend);
   Rng rng(config.seed);
   he_init(model, rng);
   const std::vector<Param*> params = model.params();

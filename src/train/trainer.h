@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/augment.h"
@@ -52,6 +53,10 @@ struct TrainConfig {
   // injector — kept as the bit-exactness reference; trajectories are
   // identical for a fixed seed (tested in test_trainer.cpp).
   bool reuse_fault_lists = true;
+  // Compute backend for this training run ("" = inherit the caller's
+  // current backend; see src/kernels/backend.h). "blocked" trades bit-exact
+  // reproducibility of trajectories across backends for throughput.
+  std::string backend;
 
   int epochs = 20;
   int batch_size = 100;

@@ -1,0 +1,449 @@
+// Tests for the src/kernels/ compute-backend subsystem: registry + env
+// selection, scratch arena reuse, blocked-vs-reference GEMM parity on
+// odd/edge shapes, threaded-GEMM determinism, batch-coalesced convolution
+// parity (forward and backward), per-model backend preferences, and the
+// inference-mode backward-cache release.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "ber.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace ber;
+using kernels::Backend;
+using kernels::BlockedBackend;
+
+// Normwise relative error: max |got - want| over the magnitude of the
+// expected result (floored at 1). The standard GEMM-verification metric —
+// per-element ratios are meaningless where random-walk cancellation leaves
+// a near-zero expected value.
+float max_rel_err(const Tensor& got, const Tensor& want) {
+  EXPECT_EQ(got.numel(), want.numel());
+  float worst = 0.0f;
+  for (long i = 0; i < got.numel(); ++i) {
+    worst = std::max(worst, std::abs(got[i] - want[i]));
+  }
+  return worst / std::max(1.0f, want.abs_max());
+}
+
+// ----------------------------------------------------------- registry ---
+
+// Restores BER_BACKEND and the latched process default on destruction, so
+// tests that poke the registry don't leak state — in particular the CI leg
+// that runs this whole suite under BER_BACKEND=blocked must still see the
+// blocked default in later tests.
+struct DefaultBackendRestore {
+  std::string env;
+  bool had_env;
+  DefaultBackendRestore() {
+    const char* e = std::getenv("BER_BACKEND");
+    had_env = e != nullptr;
+    if (e) env = e;
+  }
+  ~DefaultBackendRestore() {
+    if (had_env) {
+      setenv("BER_BACKEND", env.c_str(), 1);
+    } else {
+      unsetenv("BER_BACKEND");
+    }
+    kernels::detail::refresh_default_from_env();
+  }
+};
+
+TEST(BackendRegistry, BuiltinsRegistered) {
+  const auto names = kernels::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "blocked"), names.end());
+  EXPECT_EQ(kernels::backend("reference").name(), "reference");
+  EXPECT_EQ(kernels::backend("blocked").name(), "blocked");
+  EXPECT_TRUE(kernels::backend("blocked").coalesced_conv());
+  EXPECT_FALSE(kernels::backend("reference").coalesced_conv());
+}
+
+TEST(BackendRegistry, UnknownNameThrows) {
+  EXPECT_THROW(kernels::backend("turbo"), std::invalid_argument);
+  EXPECT_THROW(kernels::set_default_backend("turbo"), std::invalid_argument);
+}
+
+TEST(BackendRegistry, DefaultAndScopedOverride) {
+  const DefaultBackendRestore restore;
+  kernels::set_default_backend("reference");
+  EXPECT_EQ(kernels::current_backend().name(), "reference");
+  {
+    kernels::ScopedBackend outer("blocked");
+    EXPECT_EQ(kernels::current_backend().name(), "blocked");
+    {
+      kernels::ScopedBackend inner("reference");
+      EXPECT_EQ(kernels::current_backend().name(), "reference");
+    }
+    EXPECT_EQ(kernels::current_backend().name(), "blocked");
+  }
+  EXPECT_EQ(kernels::current_backend().name(), "reference");
+}
+
+TEST(BackendRegistry, EnvOverrideSelectsAndValidates) {
+  const DefaultBackendRestore restore;
+  ASSERT_EQ(setenv("BER_BACKEND", "blocked", 1), 0);
+  kernels::detail::refresh_default_from_env();
+  EXPECT_EQ(kernels::default_backend().name(), "blocked");
+
+  ASSERT_EQ(setenv("BER_BACKEND", "no-such-backend", 1), 0);
+  EXPECT_THROW(kernels::detail::refresh_default_from_env(),
+               std::invalid_argument);
+
+  ASSERT_EQ(unsetenv("BER_BACKEND"), 0);
+  kernels::detail::refresh_default_from_env();
+  EXPECT_EQ(kernels::default_backend().name(), "reference");
+}
+
+// -------------------------------------------------------------- arena ---
+
+TEST(Arena, ScopeRewindsAndPointersStayValid) {
+  kernels::Arena arena;
+  float* outer = arena.alloc(100);
+  outer[0] = 1.0f;
+  {
+    kernels::ArenaScope scope(arena);
+    float* inner = arena.alloc(50);
+    // Force growth while `outer` and `inner` are live.
+    float* big = arena.alloc(100000);
+    inner[0] = 2.0f;
+    big[0] = 3.0f;
+    EXPECT_EQ(outer[0], 1.0f);  // untouched by growth
+    EXPECT_GE(arena.used(), std::size_t{100150});
+  }
+  EXPECT_EQ(arena.used(), std::size_t{100});  // rewound to the watermark
+  EXPECT_EQ(outer[0], 1.0f);
+}
+
+TEST(Arena, CapacityConvergesAcrossDifferentlyShapedCalls) {
+  kernels::Arena arena;
+  const std::vector<std::size_t> shapes{1000, 5000, 3000, 1000, 5000};
+  for (std::size_t n : shapes) {
+    kernels::ArenaScope scope(arena);
+    arena.alloc(n);
+  }
+  const std::size_t cap = arena.capacity();
+  const std::size_t chunks = arena.chunk_count();
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t n : shapes) {
+      kernels::ArenaScope scope(arena);
+      float* p = arena.alloc(n);
+      p[n - 1] = 1.0f;
+    }
+  }
+  EXPECT_EQ(arena.capacity(), cap) << "arena kept growing on repeat calls";
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, ConvForwardReusesArenaAcrossShapes) {
+  kernels::ScopedBackend guard("blocked");
+  Rng rng(3);
+  Conv2d conv(4, 6, 3, 1, 1);
+  for (Param* p : conv.params()) {
+    for (long i = 0; i < p->value.numel(); ++i) p->value[i] = rng.normal();
+  }
+  Tensor a = Tensor::randn({2, 4, 10, 10}, rng);
+  Tensor b = Tensor::randn({5, 4, 7, 7}, rng);
+  // Warm up both shapes, then the arena must stop growing.
+  conv.forward(a, false);
+  conv.forward(b, false);
+  conv.forward(a, false);
+  conv.forward(b, false);
+  const std::size_t cap = kernels::tls_arena().capacity();
+  for (int i = 0; i < 4; ++i) {
+    conv.forward(a, false);
+    conv.forward(b, false);
+  }
+  EXPECT_EQ(kernels::tls_arena().capacity(), cap);
+}
+
+// -------------------------------------------------------- GEMM parity ---
+
+struct GemmShape {
+  long m, n, k;
+};
+
+const std::vector<GemmShape>& parity_shapes() {
+  // Deliberately not multiples of the register tile (mr x nr), plus
+  // degenerate and tile-straddling edges.
+  static const std::vector<GemmShape> shapes{
+      {1, 1, 1},   {1, 7, 3},    {5, 1, 9},    {3, 5, 7},
+      {17, 19, 23}, {31, 33, 1},  {64, 64, 64}, {65, 31, 129},
+      {129, 63, 40}, {7, 300, 5}, {130, 70, 260}};
+  return shapes;
+}
+
+TEST(BlockedGemm, ParityWithReferenceAcrossShapesAndBetas) {
+  const Backend& ref = kernels::backend("reference");
+  const BlockedBackend blocked(1);
+  Rng rng(11);
+  for (const auto& s : parity_shapes()) {
+    for (float beta : {0.0f, 1.0f, 0.5f}) {
+      Tensor a = Tensor::randn({s.m, s.k}, rng);
+      Tensor b = Tensor::randn({s.k, s.n}, rng);
+      Tensor c0 = Tensor::randn({s.m, s.n}, rng);
+      Tensor c1 = c0;
+      ref.gemm(s.m, s.n, s.k, 1.3f, a.data(), b.data(), beta, c0.data());
+      blocked.gemm(s.m, s.n, s.k, 1.3f, a.data(), b.data(), beta, c1.data());
+      EXPECT_LT(max_rel_err(c1, c0), 1e-4f)
+          << "gemm " << s.m << "x" << s.n << "x" << s.k << " beta=" << beta;
+    }
+  }
+}
+
+TEST(BlockedGemm, ParityTransposedVariants) {
+  const Backend& ref = kernels::backend("reference");
+  const BlockedBackend blocked(1);
+  Rng rng(12);
+  for (const auto& s : parity_shapes()) {
+    Tensor at = Tensor::randn({s.k, s.m}, rng);  // A stored [k,m]
+    Tensor bt = Tensor::randn({s.n, s.k}, rng);  // B stored [n,k]
+    Tensor a = Tensor::randn({s.m, s.k}, rng);
+    Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor c0 = Tensor::randn({s.m, s.n}, rng);
+    Tensor c1 = c0;
+    ref.gemm_at(s.m, s.n, s.k, 1.0f, at.data(), b.data(), 1.0f, c0.data());
+    blocked.gemm_at(s.m, s.n, s.k, 1.0f, at.data(), b.data(), 1.0f, c1.data());
+    EXPECT_LT(max_rel_err(c1, c0), 1e-4f)
+        << "gemm_at " << s.m << "x" << s.n << "x" << s.k;
+
+    c0 = Tensor::randn({s.m, s.n}, rng);
+    c1 = c0;
+    ref.gemm_bt(s.m, s.n, s.k, 1.0f, a.data(), bt.data(), 0.0f, c0.data());
+    blocked.gemm_bt(s.m, s.n, s.k, 1.0f, a.data(), bt.data(), 0.0f, c1.data());
+    EXPECT_LT(max_rel_err(c1, c0), 1e-4f)
+        << "gemm_bt " << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(BlockedGemm, ThreadedShardingIsBitIdentical) {
+  // The row-sharded path must be bit-identical to single-threaded blocked
+  // for any shard count: each C element's k-summation order is fixed.
+  Rng rng(13);
+  const long m = 150, n = 130, k = 530;  // k spans three KC blocks
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c1({m, n}), c4({m, n}), c3({m, n});
+  BlockedBackend(1).gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  BlockedBackend(4).gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c4.data());
+  BlockedBackend(3).gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c3.data());
+  for (long i = 0; i < c1.numel(); ++i) {
+    ASSERT_EQ(c1[i], c4[i]) << "shard-count-dependent result at " << i;
+    ASSERT_EQ(c1[i], c3[i]) << "shard-count-dependent result at " << i;
+  }
+}
+
+TEST(BlockedGemm, WorkerMarkerKeepsAutoShardingSerial) {
+  // parallel_for worker threads are marked so the blocked backend's auto
+  // thread mode ("blocked" in the registry, threads=0) stays serial inside
+  // evaluator/serving workers instead of oversubscribing T^2.
+  EXPECT_FALSE(in_parallel_worker());
+  bool flags[2] = {false, false};
+  parallel_for(2, 2, [&](std::int64_t i) { flags[i] = in_parallel_worker(); });
+  EXPECT_TRUE(flags[0]);
+  EXPECT_TRUE(flags[1]);
+  EXPECT_FALSE(in_parallel_worker());
+  {
+    const ParallelWorkerScope mark;
+    EXPECT_TRUE(in_parallel_worker());
+  }
+  EXPECT_FALSE(in_parallel_worker());
+}
+
+TEST(BlockedGemm, RepeatedCallsAreDeterministic) {
+  Rng rng(14);
+  const long m = 65, n = 33, k = 129;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c0({m, n}), c1({m, n});
+  const BlockedBackend blocked(1);
+  blocked.gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c0.data());
+  blocked.gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  for (long i = 0; i < c0.numel(); ++i) ASSERT_EQ(c0[i], c1[i]);
+}
+
+// -------------------------------------------------------- conv parity ---
+
+struct ConvCase {
+  long n, in_c, h, w, out_c, kernel, stride, pad;
+  bool bias;
+};
+
+const std::vector<ConvCase>& conv_cases() {
+  static const std::vector<ConvCase> cases{
+      {1, 3, 12, 12, 8, 3, 1, 1, true},
+      {8, 16, 12, 12, 32, 3, 1, 1, true},
+      {4, 2, 9, 7, 5, 3, 2, 1, true},   // stride 2, non-square input
+      {3, 4, 8, 8, 6, 2, 2, 0, false},  // even kernel, no pad, no bias
+      {2, 1, 5, 5, 3, 5, 1, 2, true},   // kernel as big as the image
+  };
+  return cases;
+}
+
+Conv2d make_conv(const ConvCase& c, Rng& rng) {
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad, c.bias);
+  for (Param* p : conv.params()) {
+    for (long i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = rng.normal() * 0.2f;
+    }
+  }
+  return conv;
+}
+
+TEST(CoalescedConv, ForwardMatchesPerImage) {
+  Rng rng(21);
+  for (const auto& c : conv_cases()) {
+    Conv2d conv = make_conv(c, rng);
+    Tensor x = Tensor::randn({c.n, c.in_c, c.h, c.w}, rng);
+    Tensor y_ref, y_blk;
+    {
+      kernels::ScopedBackend g("reference");
+      y_ref = conv.forward(x, false);
+    }
+    {
+      kernels::ScopedBackend g("blocked");
+      y_blk = conv.forward(x, false);
+    }
+    ASSERT_EQ(y_blk.shape(), y_ref.shape());
+    EXPECT_LT(max_rel_err(y_blk, y_ref), 1e-4f)
+        << "conv N=" << c.n << " stride=" << c.stride << " pad=" << c.pad;
+  }
+}
+
+TEST(CoalescedConv, BackwardMatchesPerImage) {
+  Rng rng(22);
+  for (const auto& c : conv_cases()) {
+    Conv2d conv_ref = make_conv(c, rng);
+    Conv2d conv_blk = conv_ref;  // identical weights
+    Tensor x = Tensor::randn({c.n, c.in_c, c.h, c.w}, rng);
+
+    Tensor gin_ref, gin_blk;
+    {
+      kernels::ScopedBackend g("reference");
+      Tensor y = conv_ref.forward(x, true);
+      Tensor go = Tensor::uniform(y.shape(), rng, -1.0f, 1.0f);
+      gin_ref = conv_ref.backward(go);
+      kernels::ScopedBackend g2("blocked");
+      Tensor y2 = conv_blk.forward(x, true);
+      gin_blk = conv_blk.backward(go);
+      ASSERT_EQ(y2.shape(), y.shape());
+    }
+    EXPECT_LT(max_rel_err(gin_blk, gin_ref), 1e-4f) << "grad_in";
+    const auto ps_ref = conv_ref.params();
+    const auto ps_blk = conv_blk.params();
+    for (std::size_t i = 0; i < ps_ref.size(); ++i) {
+      EXPECT_LT(max_rel_err(ps_blk[i]->grad, ps_ref[i]->grad), 1e-4f)
+          << "grad of " << ps_ref[i]->name;
+    }
+  }
+}
+
+TEST(CoalescedConv, GradcheckUnderBlockedBackend) {
+  kernels::ScopedBackend guard("blocked");
+  Rng rng(23);
+  Conv2d conv(2, 3, 3, 1, 1);
+  for (Param* p : conv.params()) {
+    for (long i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = rng.normal() * 0.3f;
+    }
+  }
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  test::gradcheck_layer(conv, x);
+}
+
+// ------------------------------------------- model-level integration ---
+
+TEST(BackendIntegration, SequentialPreferenceWinsAndSurvivesClone) {
+  Rng rng(31);
+  ModelConfig mc;
+  auto model = build_model(mc);
+  he_init(*model, rng);
+  Tensor x = Tensor::randn({4, mc.in_channels, mc.image_size, mc.image_size},
+                           rng);
+
+  Tensor y_scoped;
+  {
+    kernels::ScopedBackend g("blocked");
+    y_scoped = model->forward(x, false);
+  }
+  model->set_backend("blocked");
+  Tensor y_pref = model->forward(x, false);  // process default is reference
+  for (long i = 0; i < y_pref.numel(); ++i) {
+    ASSERT_EQ(y_pref[i], y_scoped[i]) << "preference != scoped override";
+  }
+
+  Sequential clone(*model);
+  EXPECT_EQ(clone.backend(), "blocked");
+  Tensor y_clone = clone.forward(x, false);
+  for (long i = 0; i < y_clone.numel(); ++i) ASSERT_EQ(y_clone[i], y_pref[i]);
+
+  EXPECT_THROW(model->set_backend("no-such-backend"), std::invalid_argument);
+  model->set_backend("");  // back to inherit
+  EXPECT_TRUE(model->backend().empty());
+}
+
+TEST(BackendIntegration, EvaluatorMatchesAcrossBackendsWithinTolerance) {
+  Rng rng(32);
+  ModelConfig mc;
+  auto model = build_model(mc);
+  he_init(*model, rng);
+  SyntheticConfig dc = SyntheticConfig::cifar10();
+  dc.n_test = 64;
+  const Dataset data = make_synthetic(dc, /*train=*/false);
+  BitErrorConfig cfg;
+  cfg.p = 0.005;
+  const RandomBitErrorModel fault(cfg, /*seed_base=*/7);
+
+  RobustResult r_ref, r_blk;
+  {
+    kernels::ScopedBackend g("reference");
+    RobustnessEvaluator ev(*model, QuantScheme::rquant(8));
+    r_ref = ev.run(fault, data, /*n_trials=*/3);
+  }
+  {
+    // The evaluator must propagate the caller's scoped choice onto its
+    // worker threads.
+    kernels::ScopedBackend g("blocked");
+    RobustnessEvaluator ev(*model, QuantScheme::rquant(8));
+    r_blk = ev.run(fault, data, /*n_trials=*/3);
+  }
+  // Error rates are means over >= 64 images; kernel reassociation moves
+  // logits by ~1e-6, which only flips predictions on razor-thin argmax
+  // ties. Allow one image of slack per trial.
+  EXPECT_NEAR(r_blk.mean_rerr, r_ref.mean_rerr, 1.0f / 64.0f + 1e-6f);
+}
+
+// ------------------------------------------------ inference caches ---
+
+TEST(InferenceCaches, ConvAndLinearReleaseBackwardCaches) {
+  Rng rng(41);
+  Conv2d conv(3, 8, 3, 1, 1);
+  Linear linear(12, 5);
+  Tensor x = Tensor::randn({6, 3, 8, 8}, rng);
+  Tensor xl = Tensor::randn({6, 12}, rng);
+
+  conv.forward(x, true);
+  linear.forward(xl, true);
+  EXPECT_GT(conv.cached_bytes(), 0);
+  EXPECT_GT(linear.cached_bytes(), 0);
+
+  // Cloning a just-trained layer copies the caches — the serving/eval
+  // scenario from the issue: the first inference forward must drop them.
+  Conv2d conv_clone = conv;
+  EXPECT_GT(conv_clone.cached_bytes(), 0);
+  conv_clone.forward(x, false);
+  EXPECT_EQ(conv_clone.cached_bytes(), 0);
+
+  conv.forward(x, false);
+  linear.forward(xl, false);
+  EXPECT_EQ(conv.cached_bytes(), 0);
+  EXPECT_EQ(linear.cached_bytes(), 0);
+}
+
+}  // namespace
