@@ -63,13 +63,16 @@ int main() {
       static_cast<double>(weights) * train_cfg.quant.bits;
   const float clean = test_error(*model, test_set, &train_cfg.quant);
 
-  std::printf("{\"bench\":\"adv_attack\",\"paper\":\"arXiv:2104.08323\","
-              "\"weights\":%zu,\"bits\":%d,\"clean_err_pct\":%.2f,"
-              "\"adv_trials\":%d,\"rand_trials\":%d,\"results\":[",
-              weights, train_cfg.quant.bits, 100.0f * clean, kAdvTrials,
-              kRandTrials);
+  Json report = Json::object();
+  report.set("bench", "adv_attack");
+  report.set("paper", "arXiv:2104.08323");
+  report.set("weights", static_cast<long>(weights));
+  report.set("bits", train_cfg.quant.bits);
+  report.set("clean_err_pct", 100.0 * clean);
+  report.set("adv_trials", kAdvTrials);
+  report.set("rand_trials", kRandTrials);
+  Json results = Json::array();
 
-  bool first = true;
   bool all_beat_random = true;
   for (int budget : {2, 8, 32, 128}) {
     AttackConfig cfg;
@@ -93,18 +96,15 @@ int main() {
 
     const bool beats = adv_r.mean_rerr - clean > rnd_r.mean_rerr - clean;
     all_beat_random = all_beat_random && beats;
-    std::printf(
-        "%s{\"budget\":%d,"
-        "\"adv_rerr_pct\":%.2f,\"adv_std_pct\":%.2f,"
-        "\"rand_flips_rerr_pct\":%.2f,"
-        "\"rand_model_rerr_pct\":%.2f,"
-        "\"adv_minus_rand_pp\":%.2f,"
-        "\"adv_beats_random\":%s}",
-        first ? "" : ",", budget, 100.0f * adv_r.mean_rerr,
-        100.0f * adv_r.std_rerr, 100.0f * rnd_r.mean_rerr,
-        100.0f * model_r.mean_rerr,
-        100.0f * (adv_r.mean_rerr - rnd_r.mean_rerr), beats ? "true" : "false");
-    first = false;
+    Json row = Json::object();
+    row.set("budget", budget);
+    row.set("adv_rerr_pct", 100.0 * adv_r.mean_rerr);
+    row.set("adv_std_pct", 100.0 * adv_r.std_rerr);
+    row.set("rand_flips_rerr_pct", 100.0 * rnd_r.mean_rerr);
+    row.set("rand_model_rerr_pct", 100.0 * model_r.mean_rerr);
+    row.set("adv_minus_rand_pp", 100.0 * (adv_r.mean_rerr - rnd_r.mean_rerr));
+    row.set("adv_beats_random", beats);
+    results.push_back(std::move(row));
   }
 
   // Bit-reproducibility: the same (config, seed) must reproduce the flip set
@@ -119,9 +119,9 @@ int main() {
   const bool reproducible =
       a1.attack(base).flips == a2.attack(base).flips;
 
-  std::printf("],\"adv_beats_random_at_every_budget\":%s,"
-              "\"bit_reproducible\":%s}\n",
-              all_beat_random ? "true" : "false",
-              reproducible ? "true" : "false");
+  report.set("results", std::move(results));
+  report.set("adv_beats_random_at_every_budget", all_beat_random);
+  report.set("bit_reproducible", reproducible);
+  std::printf("%s\n", report.dump().c_str());
   return 0;
 }

@@ -3,8 +3,11 @@
 // p = 1% the probability of >= 2 errors per word is ~13.5% — and those
 // uncorrectable words keep their flipped bits (plus occasional
 // miscorrection). RandBET needs no extra check bits at all.
-#include <memory>
-
+//
+// Thin driver over the declarative experiment API: the SECDED rows are
+// "ecc" fault experiments swept over p with the generic eval.grid (the
+// persistent variant also ships as configs/ecc_ablation.json); the
+// unprotected rows reuse the rerr_sweep helper (itself API-backed).
 #include "bench_util.h"
 #include "ecc/secded.h"
 
@@ -14,28 +17,26 @@ using namespace ber;
 using namespace ber::bench;
 
 // RErr of a zoo model whose 8-bit codes are packed into SECDED-protected
-// 64-bit words, across the whole p grid: bit errors hit the full 72-bit
-// codeword; decode corrects what it can before the weights are deployed.
-// `persistent` swaps the built-in i.i.d. Bernoulli source for the monotone
-// hash-addressed fault model of Sec. 3 (reaching data AND check bits) —
-// EccProtectedModel composed with RandomBitErrorModel.
+// 64-bit words, across the whole p grid. `persistent` swaps the built-in
+// i.i.d. Bernoulli source for the monotone hash-addressed fault model of
+// Sec. 3 (reaching data AND check bits).
 std::vector<RobustResult> secded_sweep(const std::string& name,
                                        const std::vector<double>& grid,
                                        int chips, bool persistent) {
-  const zoo::Spec& s = zoo::spec(name);
-  Sequential& model = zoo::get(name);
-  // One quantization serves every grid point.
-  RobustnessEvaluator evaluator(model, s.train_cfg.quant);
+  Json params = Json::object();
+  params.set("persistent", persistent);
+  const api::Report report =
+      api::Experiment(persistent ? "ecc_persistent" : "ecc_bernoulli")
+          .zoo(name)
+          .fault("ecc", std::move(params))
+          .param_grid("p", grid)
+          .trials(chips)
+          .clean_err(false)
+          .run();
   std::vector<RobustResult> out;
   out.reserve(grid.size());
-  for (double p : grid) {
-    BitErrorConfig cfg;
-    cfg.p = p;
-    const EccProtectedModel fault =
-        persistent
-            ? EccProtectedModel(std::make_unique<RandomBitErrorModel>(cfg))
-            : EccProtectedModel(p);
-    out.push_back(evaluator.run(fault, zoo::rerr_set(s.dataset), chips));
+  for (const api::ReportPoint& pt : report.models.front().points) {
+    out.push_back(pt.result);
   }
   return out;
 }

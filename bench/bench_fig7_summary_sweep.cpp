@@ -1,5 +1,10 @@
 // Fig. 7: best-per-method RErr vs bit error rate on all three datasets
 // (CIFAR10 / CIFAR100 / MNIST analogs).
+//
+// Thin driver over the declarative experiment API: one api::Experiment per
+// dataset sweeps every model of every method across the whole p grid (one
+// fault-list build per chip); the best-per-method reduction happens on the
+// Report. The CIFAR10 sweep also ships as configs/fig7_c10.json.
 #include <algorithm>
 
 #include "bench_util.h"
@@ -9,11 +14,29 @@ namespace {
 using namespace ber;
 using namespace ber::bench;
 
-void sweep(const std::string& title,
-           const std::vector<std::pair<std::string, std::vector<std::string>>>&
-               methods,
+using MethodGroups =
+    std::vector<std::pair<std::string, std::vector<std::string>>>;
+
+void sweep(const std::string& title, const MethodGroups& methods,
            const std::vector<double>& grid) {
   std::printf("%s\n", title.c_str());
+
+  api::Experiment experiment("fig7");
+  for (const auto& [label, names] : methods) {
+    for (const auto& name : names) experiment.zoo(name);
+  }
+  const api::Report report = experiment.fault("random", Json::object())
+                                 .rate_grid(grid)
+                                 .clean_err(false)
+                                 .run();
+  // Index the report rows by zoo name for the per-method reduction.
+  const auto rerr_of = [&](const std::string& name, std::size_t point) {
+    for (const api::ModelReport& m : report.models) {
+      if (m.name == name) return 100.0 * m.points[point].result.mean_rerr;
+    }
+    throw std::logic_error("fig7: model missing from report: " + name);
+  };
+
   std::vector<std::string> headers{"Method (best model per p)"};
   for (double p : grid) {
     headers.push_back("p=" + TablePrinter::fmt(100 * p, 100 * p < 0.01 ? 3 : 2) +
@@ -21,17 +44,10 @@ void sweep(const std::string& title,
   }
   TablePrinter t(headers);
   for (const auto& [label, names] : methods) {
-    // One fault sweep per model covers the whole grid; the method's number
-    // at each p is the best model's.
-    std::vector<std::vector<RobustResult>> per_model;
-    per_model.reserve(names.size());
-    for (const auto& name : names) per_model.push_back(rerr_sweep(name, grid));
     std::vector<std::string> row{label};
     for (std::size_t i = 0; i < grid.size(); ++i) {
       double lo = 1e9;
-      for (const auto& results : per_model) {
-        lo = std::min(lo, 100.0 * results[i].mean_rerr);
-      }
+      for (const auto& name : names) lo = std::min(lo, rerr_of(name, i));
       row.push_back(TablePrinter::fmt(lo, 2));
     }
     t.add_row(std::move(row));
@@ -47,17 +63,17 @@ int main() {
   using namespace ber::bench;
   banner("Fig. 7", "best-per-method RErr vs p on all three datasets");
 
-  const std::vector<std::pair<std::string, std::vector<std::string>>> c10{
+  const MethodGroups c10{
       {"Normal", {"c10_normal"}},
       {"RQuant", {"c10_rquant"}},
       {"+Clipping", {"c10_clip300", "c10_clip200", "c10_clip150", "c10_clip100"}},
       {"+RandBET",
        {"c10_randbet015_p1", "c10_randbet01_p15", "c10_randbet015_p1_m4"}}};
-  const std::vector<std::pair<std::string, std::vector<std::string>>> c100{
+  const MethodGroups c100{
       {"RQuant", {"c100_rquant"}},
       {"+Clipping", {"c100_clip015"}},
       {"+RandBET", {"c100_randbet015_p05"}}};
-  const std::vector<std::pair<std::string, std::vector<std::string>>> mnist{
+  const MethodGroups mnist{
       {"RQuant", {"mnist_rquant"}},
       {"+Clipping", {"mnist_clip01"}},
       {"+RandBET", {"mnist_randbet01_p5", "mnist_randbet01_p10"}}};

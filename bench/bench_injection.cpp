@@ -10,13 +10,15 @@
 //     with default_threads() workers. The snapshot is ONE dominant tensor,
 //     exactly the case per-tensor parallelism could not split.
 //
-// Emits a single JSON object on stdout so future PRs can track the hot path;
-// `apply_speedup_vs_scalar` is the acceptance number (>= 5x at p <= 1e-2).
+// Emits a single JSON object (core/json) on stdout so future PRs can track
+// the hot path; `apply_speedup_vs_scalar` is the acceptance number (>= 5x at
+// p <= 1e-2).
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "biterror/injector.h"
+#include "core/json.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "quant/quantizer.h"
@@ -62,10 +64,12 @@ int main() {
   const double total_words = static_cast<double>(kWeights);
   const int threads = default_threads();
 
-  std::printf("{\"bench\":\"injection\",\"weights\":%zu,\"bits\":%d,"
-              "\"threads\":%d,\"results\":[",
-              kWeights, kBits, threads);
-  bool first = true;
+  Json report = Json::object();
+  report.set("bench", "injection");
+  report.set("weights", static_cast<long>(kWeights));
+  report.set("bits", kBits);
+  report.set("threads", threads);
+  Json results = Json::array();
   for (double p : {1e-4, 1e-3, 1e-2}) {
     BitErrorConfig cfg;
     cfg.p = p;  // default flip-only mix: injection is an involution, so
@@ -81,21 +85,19 @@ int main() {
     const double apply_mt_sec =
         seconds_per_call([&] { list.apply(snap, p, threads); });
 
-    std::printf(
-        "%s{\"p\":%g,\"faults\":%zu,"
-        "\"scalar_words_per_sec\":%.3e,"
-        "\"build_words_per_sec\":%.3e,"
-        "\"apply_words_per_sec\":%.3e,"
-        "\"build_mt_words_per_sec\":%.3e,"
-        "\"apply_mt_words_per_sec\":%.3e,"
-        "\"apply_speedup_vs_scalar\":%.1f,"
-        "\"build_mt_speedup\":%.1f}",
-        first ? "" : ",", p, list.size(), total_words / scalar_sec,
-        total_words / build_sec, total_words / apply_sec,
-        total_words / build_mt_sec, total_words / apply_mt_sec,
-        scalar_sec / apply_sec, build_sec / build_mt_sec);
-    first = false;
+    Json row = Json::object();
+    row.set("p", p);
+    row.set("faults", static_cast<long>(list.size()));
+    row.set("scalar_words_per_sec", total_words / scalar_sec);
+    row.set("build_words_per_sec", total_words / build_sec);
+    row.set("apply_words_per_sec", total_words / apply_sec);
+    row.set("build_mt_words_per_sec", total_words / build_mt_sec);
+    row.set("apply_mt_words_per_sec", total_words / apply_mt_sec);
+    row.set("apply_speedup_vs_scalar", scalar_sec / apply_sec);
+    row.set("build_mt_speedup", build_sec / build_mt_sec);
+    results.push_back(std::move(row));
   }
-  std::printf("]}\n");
+  report.set("results", std::move(results));
+  std::printf("%s\n", report.dump().c_str());
   return 0;
 }

@@ -1,7 +1,7 @@
 // Compute-backend microbenchmark: reference vs blocked kernels.
 //
-// Emits a single JSON object on stdout so future PRs can track the compute
-// hot path. Sections:
+// Emits a single JSON object (core/json) on stdout so future PRs can track
+// the compute hot path. Sections:
 //   * gemm        — GFLOP/s grid over square sizes (plus a conv-shaped
 //                   rectangular case) for each backend, single-threaded, and
 //                   the blocked backend with intra-GEMM sharding. The
@@ -15,6 +15,8 @@
 //                   is the acceptance number (>= 1.5x); the per-image
 //                   blocked column isolates how much of it is coalescing
 //                   rather than the faster GEMM.
+//   * conv_1x1    — pointwise-conv im2col elision: inference runs a plain
+//                   GEMM on the input, vs the lowered (cache-filling) path.
 //   * end_to_end  — clean-evaluation throughput (images/s) of the paper's
 //                   default model under each backend.
 //
@@ -65,15 +67,18 @@ int main() {
   const int threads = default_threads();
   Rng rng(1);
 
-  std::printf("{\"bench\":\"kernels\",\"threads\":%d,\"mr\":%ld,\"nr\":%ld,",
-              threads, BlockedBackend::mr(), BlockedBackend::nr());
+  Json report = Json::object();
+  report.set("bench", "kernels");
+  report.set("threads", threads);
+  report.set("mr", BlockedBackend::mr());
+  report.set("nr", BlockedBackend::nr());
 
   // ------------------------------------------------------------- gemm ---
   const std::vector<GemmCase> cases{
       {32, 32, 32}, {64, 64, 64}, {128, 128, 128}, {256, 256, 256},
       {32, 1152, 144}};  // conv-shaped: [out_c, N*OH*OW, in*k*k] at batch 8
   double speedup_128 = 0.0;
-  std::printf("\"gemm\":[");
+  Json gemm_rows = Json::array();
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
     const auto [m, n, k] = cases[ci];
     Tensor a = Tensor::randn({m, k}, rng);
@@ -89,13 +94,16 @@ int main() {
     });
     const double speedup = ref_sec / blk_sec;
     if (m == 128 && n == 128 && k == 128) speedup_128 = speedup;
-    std::printf("%s{\"m\":%ld,\"n\":%ld,\"k\":%ld,"
-                "\"reference_gflops\":%.2f,\"blocked_gflops\":%.2f,"
-                "\"blocked_mt_gflops\":%.2f,\"blocked_speedup\":%.2f}",
-                ci ? "," : "", m, n, k, gflops(m, n, k, ref_sec),
-                gflops(m, n, k, blk_sec), gflops(m, n, k, mt_sec), speedup);
+    Json row = Json::object();
+    row.set("m", m).set("n", n).set("k", k);
+    row.set("reference_gflops", gflops(m, n, k, ref_sec));
+    row.set("blocked_gflops", gflops(m, n, k, blk_sec));
+    row.set("blocked_mt_gflops", gflops(m, n, k, mt_sec));
+    row.set("blocked_speedup", speedup);
+    gemm_rows.push_back(std::move(row));
   }
-  std::printf("],\"gemm_blocked_speedup_128\":%.2f,", speedup_128);
+  report.set("gemm", std::move(gemm_rows));
+  report.set("gemm_blocked_speedup_128", speedup_128);
 
   // --------------------------------------------------- gemm variants ---
   {
@@ -117,15 +125,20 @@ int main() {
     const double blk_bt = seconds_per_call([&] {
       blocked1.gemm_bt(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, c.data());
     });
-    std::printf("\"gemm_variants\":[");
-    std::printf("{\"variant\":\"at\",\"reference_gflops\":%.2f,"
-                "\"blocked_gflops\":%.2f,\"blocked_speedup\":%.2f},",
-                gflops(m, n, k, ref_at), gflops(m, n, k, blk_at),
-                ref_at / blk_at);
-    std::printf("{\"variant\":\"bt\",\"reference_gflops\":%.2f,"
-                "\"blocked_gflops\":%.2f,\"blocked_speedup\":%.2f}],",
-                gflops(m, n, k, ref_bt), gflops(m, n, k, blk_bt),
-                ref_bt / blk_bt);
+    Json variants = Json::array();
+    Json at_row = Json::object();
+    at_row.set("variant", "at");
+    at_row.set("reference_gflops", gflops(m, n, k, ref_at));
+    at_row.set("blocked_gflops", gflops(m, n, k, blk_at));
+    at_row.set("blocked_speedup", ref_at / blk_at);
+    variants.push_back(std::move(at_row));
+    Json bt_row = Json::object();
+    bt_row.set("variant", "bt");
+    bt_row.set("reference_gflops", gflops(m, n, k, ref_bt));
+    bt_row.set("blocked_gflops", gflops(m, n, k, blk_bt));
+    bt_row.set("blocked_speedup", ref_bt / blk_bt);
+    variants.push_back(std::move(bt_row));
+    report.set("gemm_variants", std::move(variants));
   }
 
   // ------------------------------------------------------------- conv ---
@@ -173,12 +186,45 @@ int main() {
       kernels::ScopedBackend g(blocked1);
       Tensor y = conv.forward(x, false);
     });
-    std::printf("\"conv\":{\"batch\":%ld,\"reference_per_image_us\":%.1f,"
-                "\"blocked_per_image_us\":%.1f,\"blocked_coalesced_us\":%.1f,"
-                "\"coalesced_speedup_vs_reference\":%.2f,"
-                "\"coalesced_speedup_vs_blocked_per_image\":%.2f},",
-                batch, ref_sec * 1e6, blk_img_sec * 1e6, blk_coal_sec * 1e6,
-                ref_sec / blk_coal_sec, blk_img_sec / blk_coal_sec);
+    Json conv_j = Json::object();
+    conv_j.set("batch", batch);
+    conv_j.set("reference_per_image_us", ref_sec * 1e6);
+    conv_j.set("blocked_per_image_us", blk_img_sec * 1e6);
+    conv_j.set("blocked_coalesced_us", blk_coal_sec * 1e6);
+    conv_j.set("coalesced_speedup_vs_reference", ref_sec / blk_coal_sec);
+    conv_j.set("coalesced_speedup_vs_blocked_per_image",
+               blk_img_sec / blk_coal_sec);
+    report.set("conv", std::move(conv_j));
+  }
+
+  // -------------------------------------------------------- conv 1x1 ---
+  // Pointwise convolution: inference elides im2col entirely (plain GEMM on
+  // the input). Compare against a same-shape forward that is forced down
+  // the lowered path by running in training mode (which must fill the
+  // column cache for backward).
+  {
+    const long batch = 8;
+    Conv2d conv(32, 64, 1, 1, 0);
+    for (Param* p : conv.params()) {
+      for (long i = 0; i < p->value.numel(); ++i) {
+        p->value[i] = rng.normal() * 0.1f;
+      }
+    }
+    Tensor x = Tensor::randn({batch, 32, 12, 12}, rng);
+    const double lowered_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(blocked1);
+      Tensor y = conv.forward(x, true);  // training: keeps im2col + cache
+    });
+    const double elided_sec = seconds_per_call([&] {
+      kernels::ScopedBackend g(blocked1);
+      Tensor y = conv.forward(x, false);  // inference: direct GEMM on x
+    });
+    Json pw = Json::object();
+    pw.set("batch", batch);
+    pw.set("blocked_lowered_us", lowered_sec * 1e6);
+    pw.set("blocked_elided_us", elided_sec * 1e6);
+    pw.set("elision_speedup", lowered_sec / elided_sec);
+    report.set("conv_1x1", std::move(pw));
   }
 
   // ------------------------------------------------------- end to end ---
@@ -199,10 +245,13 @@ int main() {
       kernels::ScopedBackend g(blocked1);
       evaluate(*model, data, /*batch=*/64);
     });
-    std::printf("\"end_to_end\":{\"images\":%ld,"
-                "\"reference_images_per_sec\":%.0f,"
-                "\"blocked_images_per_sec\":%.0f,\"blocked_speedup\":%.2f}}\n",
-                images, images / ref_sec, images / blk_sec, ref_sec / blk_sec);
+    Json e2e = Json::object();
+    e2e.set("images", images);
+    e2e.set("reference_images_per_sec", images / ref_sec);
+    e2e.set("blocked_images_per_sec", images / blk_sec);
+    e2e.set("blocked_speedup", ref_sec / blk_sec);
+    report.set("end_to_end", std::move(e2e));
   }
+  std::printf("%s\n", report.dump().c_str());
   return 0;
 }

@@ -1,5 +1,5 @@
 // Serving-runtime bench: the full train -> plan -> serve pipeline as one
-// JSON report.
+// JSON report (built on core/json).
 //
 //   * planner   — voltage-grid sweep + SLO: the chosen below-Vmin operating
 //     point and its modeled energy saving (acceptance: >= 20% saving with
@@ -97,23 +97,18 @@ int main() {
   const OperatingPointPlan plan =
       planner.plan(fault, test_set, grid_v, slo, n_chips);
 
-  std::printf("{\"bench\":\"serving\",\"fast\":%d,\"train_cached\":%d,"
-              "\"clean_err\":%.6f,\"slo\":{\"max_rerr\":%.6f,\"z\":%.1f},",
-              fast ? 1 : 0, cached ? 1 : 0, clean_err, slo.max_rerr, slo.z);
-  std::printf("\"planner\":{\"grid\":[");
-  for (std::size_t i = 0; i < plan.grid.size(); ++i) {
-    const GridPoint& g = plan.grid[i];
-    std::printf("%s{\"v\":%.3f,\"p\":%.3e,\"rerr_mean\":%.6f,"
-                "\"rerr_std\":%.6f,\"ucb\":%.6f,\"energy\":%.4f,"
-                "\"feasible\":%d}",
-                i ? "," : "", g.voltage, g.rate, g.rerr.mean_rerr,
-                g.rerr.std_rerr, slo.upper_bound(g.rerr), g.energy,
-                g.feasible ? 1 : 0);
+  Json report = Json::object();
+  report.set("bench", "serving");
+  report.set("fast", fast);
+  report.set("train_cached", cached);
+  report.set("clean_err", clean_err);
+  {
+    Json s = Json::object();
+    s.set("max_rerr", slo.max_rerr);
+    s.set("z", slo.z);
+    report.set("slo", std::move(s));
   }
-  std::printf("],\"chosen_v\":%.3f,\"chosen_p\":%.3e,\"below_vmin\":%d,"
-              "\"energy_saving\":%.4f},",
-              plan.chosen_point().voltage, plan.chosen_point().rate,
-              plan.below_vmin ? 1 : 0, plan.energy_saving);
+  report.set("planner", plan_to_json(plan, slo));
 
   // ----------------------------------------------------------- serving ----
   const int n_replicas = 3;
@@ -196,22 +191,28 @@ int main() {
   const int cores = default_threads();
   const double ideal =
       static_cast<double>(std::min(n_replicas, cores));
-  std::printf("\"serving\":{\"n_replicas\":%d,\"threads_available\":%d,"
-              "\"max_batch\":%ld,"
-              "\"max_wait_us\":%ld,\"requests\":%ld,\"answered\":%ld,"
-              "\"serial_imgs_per_sec\":%.1f,\"pool_imgs_per_sec\":%.1f,"
-              "\"throughput_scaling\":%.2f,\"pool_efficiency\":%.2f,"
-              "\"mean_batch\":%.2f,"
-              "\"p50_latency_us\":%.1f,\"p99_latency_us\":%.1f,"
-              "\"serving_err\":%.6f,\"slo_band\":%.6f,\"slo_ok\":%d,"
-              "\"fleet_energy_per_access\":%.4f,\"fleet_energy_saving\":%.4f},",
-              n_replicas, cores, qcfg.max_batch, qcfg.max_wait_us, n_requests,
-              answered, n_requests / serial_sec, n_requests / pool_sec,
-              serial_sec / pool_sec, serial_sec / pool_sec / ideal,
-              stats.mean_batch_images,
-              stats.p50_latency_us, stats.p99_latency_us, serving_err,
-              slo.max_rerr, serving_err <= slo.max_rerr ? 1 : 0, fleet_energy,
-              1.0 - fleet_energy);
+  {
+    Json sj = Json::object();
+    sj.set("n_replicas", n_replicas);
+    sj.set("threads_available", cores);
+    sj.set("max_batch", qcfg.max_batch);
+    sj.set("max_wait_us", qcfg.max_wait_us);
+    sj.set("requests", n_requests);
+    sj.set("answered", answered);
+    sj.set("serial_imgs_per_sec", n_requests / serial_sec);
+    sj.set("pool_imgs_per_sec", n_requests / pool_sec);
+    sj.set("throughput_scaling", serial_sec / pool_sec);
+    sj.set("pool_efficiency", serial_sec / pool_sec / ideal);
+    sj.set("mean_batch", stats.mean_batch_images);
+    sj.set("p50_latency_us", stats.p50_latency_us);
+    sj.set("p99_latency_us", stats.p99_latency_us);
+    sj.set("serving_err", serving_err);
+    sj.set("slo_band", slo.max_rerr);
+    sj.set("slo_ok", serving_err <= slo.max_rerr);
+    sj.set("fleet_energy_per_access", fleet_energy);
+    sj.set("fleet_energy_saving", 1.0 - fleet_energy);
+    report.set("serving", std::move(sj));
+  }
 
   // ------------------------------------------------------------ health ----
   // Force one replica BELOW the plan (the degradation drill) and let the
@@ -228,11 +229,18 @@ int main() {
   HealthMonitor drill_monitor(test_set.head(fast ? 60 : 150), hc);
   int steps = 0;
   while (drill_monitor.check(sick).tripped && steps < 16) ++steps;
-  std::printf("\"health\":{\"degraded_v\":%.3f,\"degraded_err\":%.6f,"
-              "\"redeploys\":%d,\"recovered_v\":%.3f,\"recovered_err\":%.6f,"
-              "\"recovered\":%d}}\n",
-              degraded_v, degraded_err, steps, sick.point().voltage,
-              sick.canary(test_set.head(fast ? 60 : 150)).error,
-              drill_monitor.events().back().tripped ? 0 : 1);
+  {
+    Json hj = Json::object();
+    hj.set("degraded_v", degraded_v);
+    hj.set("degraded_err", degraded_err);
+    hj.set("redeploys", steps);
+    hj.set("recovered_v", sick.point().voltage);
+    hj.set("recovered_err",
+           static_cast<double>(
+               sick.canary(test_set.head(fast ? 60 : 150)).error));
+    hj.set("recovered", !drill_monitor.events().back().tripped);
+    report.set("health", std::move(hj));
+  }
+  std::printf("%s\n", report.dump().c_str());
   return answered == n_requests ? 0 : 1;
 }

@@ -1,4 +1,8 @@
 // Tab. 4: RandBET vs Clipping at 8 and 4 bits across bit error rates.
+//
+// Thin driver over the declarative experiment API — the same scenario ships
+// as configs/tab4.json (`ber_run --table configs/tab4.json`) and both paths
+// produce bit-identical numbers (tests/test_api.cpp).
 #include "bench_util.h"
 
 int main() {
@@ -14,23 +18,29 @@ int main() {
   zoo::ensure(all);
 
   const std::vector<double> grid{0.005, 0.01, 0.015};
+  api::Experiment experiment("tab4");
+  for (const auto& name : all) experiment.zoo(name);
+  Json params = Json::object();
+  params.set("seed_base", 1000);
+  const api::Report report = experiment.fault("random", std::move(params))
+                                 .rate_grid(grid)
+                                 .run();
+
   std::vector<std::string> headers{"Model", "Err (%)"};
   for (double p : grid) {
     headers.push_back("RErr p=" + TablePrinter::fmt(100 * p, 1) + "%");
   }
   TablePrinter t(headers);
-  auto add = [&](const std::string& name) {
-    std::vector<std::string> row{zoo::spec(name).label,
-                                 TablePrinter::fmt(clean_err_pct(name), 2)};
-    // One quantization + one fault sweep per model covers the whole p grid.
-    for (const RobustResult& r : rerr_sweep(name, grid)) {
-      row.push_back(fmt_rerr(r));
+  for (std::size_t i = 0; i < report.models.size(); ++i) {
+    if (i == m8.size()) t.add_separator();
+    const api::ModelReport& m = report.models[i];
+    std::vector<std::string> row{m.label,
+                                 TablePrinter::fmt(100.0 * m.clean_err, 2)};
+    for (const api::ReportPoint& pt : m.points) {
+      row.push_back(fmt_rerr(pt.result));
     }
     t.add_row(std::move(row));
-  };
-  for (const auto& name : m8) add(name);
-  t.add_separator();
-  for (const auto& name : m4) add(name);
+  }
   t.print();
   std::printf(
       "\nPaper shape: for p <= 0.5%% clipping is nearly enough; at p >= 1%% "

@@ -1,5 +1,10 @@
 // Tab. 5 / Tab. 15: generalization of RandBET to profiled chips it has never
 // seen — including chip 2's column-aligned, 0-to-1-biased distribution.
+//
+// Thin driver over the declarative experiment API: one api::Experiment per
+// chip, the voltage grid swept through the evaluator's persistence fast
+// path (one cell-lookup sweep per mapping serves both voltages). The chip-2
+// scenario also ships as configs/tab5_profiled.json.
 #include "bench_util.h"
 
 int main() {
@@ -11,18 +16,31 @@ int main() {
                                         "c10_randbet01_p15"};
   zoo::ensure(models);
 
-  const std::vector<std::pair<std::string, ProfiledChipConfig>> chips{
-      {"Chip 1", ProfiledChipConfig::chip1()},
-      {"Chip 2", ProfiledChipConfig::chip2()}};
+  const std::vector<std::pair<std::string, std::string>> chips{
+      {"Chip 1", "chip1"}, {"Chip 2", "chip2"}};
   const std::vector<double> voltages{0.88, 0.84};
-  const int n_offsets = zoo::default_chips();
 
-  for (const auto& [chip_label, cfg] : chips) {
+  for (const auto& [chip_label, chip_name] : chips) {
+    // The chip the experiment will build (for the banner rates only; the
+    // Runner constructs its own from the same preset).
+    const ProfiledChipConfig cfg = chip_name == "chip1"
+                                       ? ProfiledChipConfig::chip1()
+                                       : ProfiledChipConfig::chip2();
     ProfiledChip chip(cfg);
     std::printf("%s (column-vulnerable fraction %.2f, 0-to-1 share at 0.84 "
                 "Vmin: %.2f)\n",
                 chip_label.c_str(), cfg.vulnerable_column_fraction,
                 chip.set1_share_at(0.84));
+
+    api::Experiment experiment("tab5_" + chip_name);
+    for (const auto& name : models) experiment.zoo(name);
+    Json params = Json::object();
+    params.set("chip", chip_name);
+    const api::Report report = experiment.fault("profiled", std::move(params))
+                                   .voltage_grid(voltages)
+                                   .clean_err(false)
+                                   .run();
+
     std::vector<std::string> headers{"Model"};
     for (double v : voltages) {
       headers.push_back("RErr @ V/Vmin=" + TablePrinter::fmt(v, 2) + " (p~" +
@@ -30,16 +48,10 @@ int main() {
                         "%)");
     }
     TablePrinter t(headers);
-    for (const auto& name : models) {
-      const zoo::Spec& s = zoo::spec(name);
-      Sequential& model = zoo::get(name);
-      // Quantize once per model; reuse the snapshot for every voltage.
-      RobustnessEvaluator evaluator(model, s.train_cfg.quant);
-      std::vector<std::string> row{s.label};
-      for (double v : voltages) {
-        const RobustResult r = evaluator.run(
-            ProfiledChipModel(chip, v), zoo::rerr_set(s.dataset), n_offsets);
-        row.push_back(fmt_rerr(r));
+    for (const api::ModelReport& m : report.models) {
+      std::vector<std::string> row{m.label};
+      for (const api::ReportPoint& pt : m.points) {
+        row.push_back(fmt_rerr(pt.result));
       }
       t.add_row(std::move(row));
     }

@@ -29,26 +29,41 @@ RobustResult rerr(const std::string& name, double p) {
 
 RobustResult rerr_with_scheme(const std::string& name,
                               const QuantScheme& scheme, double p) {
-  const zoo::Spec& s = zoo::spec(name);
-  Sequential& model = zoo::get(name);
-  BitErrorConfig cfg;
-  cfg.p = p;
-  return robust_error(model, scheme, zoo::rerr_set(s.dataset), cfg,
-                      zoo::default_chips(),
-                      /*seed_base=*/1000);
+  // One-point declarative experiment: zoo model, "random" fault at rate p,
+  // the historical seed base. Identical numbers to the pre-API
+  // robust_error() path (regression-pinned in tests/test_api.cpp).
+  Json params = Json::object();
+  params.set("p", p);
+  params.set("seed_base", 1000);
+  const api::Report report = api::Experiment("bench_rerr")
+                                 .zoo(name)
+                                 .fault("random", std::move(params))
+                                 .trials(zoo::default_chips())
+                                 .clean_err(false)
+                                 .eval_quant(scheme)
+                                 .run();
+  return report.models.front().points.front().result;
 }
 
 std::vector<RobustResult> rerr_sweep(const std::string& name,
                                      const std::vector<double>& grid) {
-  const zoo::Spec& s = zoo::spec(name);
-  Sequential& model = zoo::get(name);
-  BitErrorConfig cfg;
-  cfg.p = 0.0;
-  for (double p : grid) cfg.p = std::max(cfg.p, p);
-  const RandomBitErrorModel fault(cfg, /*seed_base=*/1000);
-  return RobustnessEvaluator(model, zoo::scheme_of(name))
-      .run_rate_sweep(fault, grid, zoo::rerr_set(s.dataset),
-                      zoo::default_chips());
+  // The whole p grid in one declarative experiment: the Runner quantizes
+  // once and builds each chip's fault list once at max(grid)
+  // (RobustnessEvaluator::run_rate_sweep); element i is bit-identical to
+  // rerr(name, grid[i]).
+  const api::Report report = api::Experiment("bench_rerr_sweep")
+                                 .zoo(name)
+                                 .fault("random", Json::object())
+                                 .rate_grid(grid)
+                                 .trials(zoo::default_chips())
+                                 .clean_err(false)
+                                 .run();
+  std::vector<RobustResult> out;
+  out.reserve(report.models.front().points.size());
+  for (const api::ReportPoint& pt : report.models.front().points) {
+    out.push_back(pt.result);
+  }
+  return out;
 }
 
 std::string fmt_rerr(const RobustResult& r) {

@@ -1,9 +1,16 @@
 // Shared helpers for the paper-table bench binaries.
+//
+// The RErr helpers are thin shells over the declarative experiment API
+// (api/experiment.h): rerr()/rerr_sweep() build a one-off api::Experiment on
+// the zoo model and extract the RobustResults from its Report, so bench
+// binaries and `ber_run configs/*.json` produce their numbers through the
+// same Runner code path (bit-identical for a fixed seed).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "ber.h"
 #include "zoo.h"
 
 namespace ber::bench {

@@ -3,6 +3,12 @@
 // synthetic profiled chips with different error structure — the Tab. 5
 // cross-chip generalization story as a go/no-go voltage selection tool.
 //
+// Declared through the experiment API: one api::Experiment per chip with a
+// "profiled" fault and a voltage grid; the Runner sweeps every voltage from
+// ONE cell-lookup pass per weight-to-memory mapping (profiled maps are
+// persistent in voltage) and the model checkpoint is shared across the
+// three experiments via the api cache.
+//
 //   ./example_profiled_chip_deployment
 #include <cstdio>
 
@@ -11,51 +17,68 @@
 int main() {
   using namespace ber;
 
-  SyntheticConfig data_cfg = SyntheticConfig::cifar10();
-  data_cfg.n_train = 1500;
-  data_cfg.n_test = 500;
-  const Dataset train_set = make_synthetic(data_cfg, true);
-  const Dataset test_set = make_synthetic(data_cfg, false);
+  // The RandBET model under test — an inline spec entry; the first
+  // experiment trains it, the cache serves the other two.
+  api::ModelEntry entry;
+  entry.name = "profiled_deploy_cnn";
+  entry.dataset.name = "c10";
+  entry.dataset.config = SyntheticConfig::cifar10();
+  entry.dataset.config.n_train = 1500;
+  entry.dataset.config.n_test = 500;
+  entry.model.width = 8;
+  entry.quant = QuantScheme::rquant(8);
+  entry.train.method = Method::kRandBET;
+  entry.train.quant = entry.quant;
+  entry.train.wmax = 0.15f;
+  entry.train.p_train = 0.015;
+  entry.train.epochs = 30;
+  entry.train.lr_warmup_epochs = 3;
 
-  ModelConfig mc;
-  mc.width = 8;
-  auto model = build_model(mc);
-  TrainConfig tc;
-  tc.method = Method::kRandBET;
-  tc.wmax = 0.15f;
-  tc.p_train = 0.015;
-  tc.epochs = 30;
-  tc.lr_warmup_epochs = 3;
-  train(*model, train_set, test_set, tc);
-  const QuantScheme scheme = tc.quant;
-  const float clean = 100.0f * test_error(*model, test_set, &scheme);
-  std::printf("RandBET model ready, clean Err %.2f%%\n", clean);
-  std::printf("qualification rule: RErr must stay below clean Err + 3%%\n\n");
-
-  const std::pair<const char*, ProfiledChipConfig> chips[] = {
-      {"chip A (uniform-like)", ProfiledChipConfig::chip1(11)},
-      {"chip B (column-aligned, 0->1 biased)", ProfiledChipConfig::chip2(22)},
-      {"chip C (mildly column-aligned)", ProfiledChipConfig::chip3(33)},
+  struct ChipCase {
+    const char* label;
+    const char* preset;
+    long seed;
   };
+  const ChipCase chips[] = {
+      {"chip A (uniform-like)", "chip1", 11},
+      {"chip B (column-aligned, 0->1 biased)", "chip2", 22},
+      {"chip C (mildly column-aligned)", "chip3", 33},
+  };
+  const std::vector<double> voltages{0.92, 0.88, 0.86, 0.84, 0.82};
   const SramEnergyModel energy;
 
-  // One evaluator (one quantization) qualifies every chip and voltage.
-  RobustnessEvaluator evaluator(*model, scheme);
-  for (const auto& [label, cfg] : chips) {
-    const ProfiledChip chip(cfg);
-    std::printf("%s\n", label);
-    std::printf("  %-9s %-14s %-16s %s\n", "V/Vmin", "measured p(%)",
-                "RErr (%)", "verdict");
+  double clean_pct = -1.0;
+  for (const ChipCase& c : chips) {
+    Json params = Json::object();
+    params.set("chip", c.preset);
+    params.set("seed", c.seed);
+    const api::Report report =
+        api::Experiment(std::string("deploy_") + c.preset)
+            .model(entry)
+            .fault("profiled", std::move(params))
+            .voltage_grid(voltages)
+            .trials(4)
+            .split("test")
+            .run();
+    const api::ModelReport& m = report.models.front();
+    if (clean_pct < 0.0) {
+      clean_pct = 100.0 * m.clean_err;
+      std::printf("RandBET model ready, clean Err %.2f%%\n", clean_pct);
+      std::printf("qualification rule: RErr must stay below clean Err + 3%%\n\n");
+    }
+
+    std::printf("%s\n", c.label);
+    std::printf("  %-9s %-16s %s\n", "V/Vmin", "RErr (%)", "verdict");
     double best_saving = 0.0;
-    for (double v : {0.92, 0.88, 0.86, 0.84, 0.82}) {
-      const RobustResult r = evaluator.run(ProfiledChipModel(chip, v),
-                                           test_set, /*n_trials=*/4);
-      const bool ok = 100.0 * r.mean_rerr < clean + 3.0;
-      if (ok) best_saving = 1.0 - energy.energy_per_access(v);
-      std::printf("  %-9.2f %-14.3f %6.2f +-%-7.2f %s\n", v,
-                  100.0 * chip.error_rate_at(v), 100.0 * r.mean_rerr,
-                  100.0 * r.std_rerr, ok ? "OK" : "too risky");
-      if (!ok) break;  // rates only grow below this voltage
+    bool still_ok = true;
+    for (const api::ReportPoint& pt : m.points) {
+      const bool ok =
+          still_ok && 100.0 * pt.result.mean_rerr < clean_pct + 3.0;
+      if (ok) best_saving = 1.0 - energy.energy_per_access(pt.x);
+      still_ok = still_ok && ok;  // rates only grow below this voltage
+      std::printf("  %-9.2f %6.2f +-%-7.2f %s\n", pt.x,
+                  100.0 * pt.result.mean_rerr, 100.0 * pt.result.std_rerr,
+                  ok ? "OK" : "too risky");
     }
     std::printf("  -> qualified energy saving on this chip: %.1f%%\n\n",
                 100.0 * best_saving);

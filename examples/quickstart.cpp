@@ -1,6 +1,8 @@
 // Quickstart: train a small CNN with quantization-aware training, deploy it
 // at 8-bit fixed point, inject low-voltage bit errors and measure robust
-// test error — the library's core loop in ~60 lines.
+// test error — the library's core loop, declared through the experiment API
+// instead of hand-wired (the identical scenario ships as
+// configs/quickstart.json for ber_run).
 //
 //   ./example_quickstart
 #include <cstdio>
@@ -10,53 +12,59 @@
 int main() {
   using namespace ber;
 
-  // 1. Data: the CIFAR10-analog synthetic shape dataset (see DESIGN.md).
-  SyntheticConfig data_cfg = SyntheticConfig::cifar10();
-  data_cfg.n_train = 1500;  // quickstart-sized
-  data_cfg.n_test = 500;
-  const Dataset train_set = make_synthetic(data_cfg, /*train=*/true);
-  const Dataset test_set = make_synthetic(data_cfg, /*train=*/false);
+  // 1. Declare the scenario: dataset, model, quantization scheme, the
+  //    paper's full training recipe (RQuant + clipping + RandBET, Alg. 1)
+  //    and the rate grid to sweep. Everything below is data — the same
+  //    sections a configs/*.json spec file has.
+  api::ModelEntry entry;
+  entry.name = "quickstart_cnn";  // checkpoint cache stem (reruns skip training)
+  entry.dataset.name = "c10";
+  entry.dataset.config = SyntheticConfig::cifar10();
+  entry.dataset.config.n_train = 1500;  // quickstart-sized
+  entry.dataset.config.n_test = 500;
+  entry.model.width = 8;
+  entry.quant = QuantScheme::rquant(8);
+  entry.train.method = Method::kRandBET;
+  entry.train.quant = entry.quant;
+  entry.train.wmax = 0.15f;
+  entry.train.p_train = 0.01;  // train against 1% bit error rate
+  entry.train.epochs = 30;
+  entry.train.lr_warmup_epochs = 3;
 
-  // 2. Model: SimpleNet-style CNN with GroupNorm (the paper's robust norm).
-  ModelConfig model_cfg;
-  model_cfg.width = 8;
-  auto model = build_model(model_cfg);
-  std::printf("model: %ld weights\n", model->num_weights());
+  const std::vector<double> rates{0.001, 0.005, 0.01, 0.02};
 
-  // 3. Train with the paper's full recipe: robust quantization (RQuant),
-  //    weight clipping and random bit error training (RandBET, Alg. 1).
-  TrainConfig train_cfg;
-  train_cfg.method = Method::kRandBET;
-  train_cfg.quant = QuantScheme::rquant(8);
-  train_cfg.wmax = 0.15f;
-  train_cfg.p_train = 0.01;  // train against 1% bit error rate
-  train_cfg.epochs = 30;
-  train_cfg.lr_warmup_epochs = 3;
-  const TrainStats stats = train(*model, train_set, test_set, train_cfg);
-  std::printf("trained %d epochs, clean Err %.2f%% (bit errors active from "
-              "epoch %d)\n",
-              train_cfg.epochs, 100.0 * stats.final_test_err,
-              stats.bit_error_start_epoch);
+  // 2. Run it: the Runner owns train -> quantize once -> inject -> evaluate
+  //    (one fault-list build per chip covers the whole rate grid).
+  const api::Report report = api::Experiment("quickstart")
+                                 .model(entry)
+                                 .fault("random", Json::object())
+                                 .rate_grid(rates)
+                                 .trials(5)
+                                 .split("test")
+                                 .run();
 
-  // 4. Evaluate robustness: RErr at increasing bit error rates, i.e. at
-  //    decreasing SRAM supply voltage.
+  // 3. Read the results off the structured report: RErr at increasing bit
+  //    error rates, i.e. at decreasing SRAM supply voltage.
+  const api::ModelReport& m = report.models.front();
+  std::printf("clean Err %.2f%% (quantized, fault-free)\n\n",
+              100.0 * m.clean_err);
   const SramEnergyModel energy;
-  std::printf("\n%-8s %-10s %-18s %s\n", "p (%)", "V/Vmin", "RErr (%)",
+  std::printf("%-8s %-10s %-18s %s\n", "p (%)", "V/Vmin", "RErr (%)",
               "energy saving (%)");
-  for (double p : {0.001, 0.005, 0.01, 0.02}) {
-    BitErrorConfig bits;
-    bits.p = p;
-    const RobustResult r =
-        robust_error(*model, train_cfg.quant, test_set, bits, /*n_chips=*/5);
-    std::printf("%-8.2f %-10.3f %6.2f +-%-8.2f %.1f\n", 100 * p,
-                energy.voltage_for_rate(p), 100 * r.mean_rerr,
-                100 * r.std_rerr, 100 * energy.energy_saving_at_rate(p));
+  for (const api::ReportPoint& pt : m.points) {
+    std::printf("%-8.2f %-10.3f %6.2f +-%-8.2f %.1f\n", 100 * pt.x,
+                energy.voltage_for_rate(pt.x), 100 * pt.result.mean_rerr,
+                100 * pt.result.std_rerr,
+                100.0 * energy.energy_saving_at_rate(pt.x));
   }
 
+  // 4. The full machine-readable report (what `ber_run` would emit).
+  std::printf("\nreport JSON:\n%s\n", report.to_json().dump(2).c_str());
+
   // 5. The Prop. 1 guarantee for this estimate.
-  std::printf("\nProp. 1: with n=%ld test examples and l=5 patterns, the "
+  std::printf("\nProp. 1: with n=%d test examples and l=5 patterns, the "
               "expected RErr lies within +-%.1f%% of the estimate w.p. 99%%.\n",
-              test_set.size(),
-              100.0 * prop1_epsilon(test_set.size(), 5, 0.01));
+              entry.dataset.config.n_test,
+              100.0 * prop1_epsilon(entry.dataset.config.n_test, 5, 0.01));
   return 0;
 }

@@ -1,0 +1,482 @@
+#include "api/experiment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "api/registry.h"
+#include "api/zoo.h"
+#include "core/env.h"
+#include "eval/metrics.h"
+#include "faults/profiled_chip_model.h"
+#include "faults/random_bit_error_model.h"
+#include "kernels/backend.h"
+#include "serve/checkpoint.h"
+#include "serve/replica_pool.h"
+#include "tensor/ops.h"
+
+namespace ber::api {
+
+namespace {
+
+// FNV-1a fingerprint of an inline model entry's normalized JSON — the
+// checkpoint cache key, so editing any part of the recipe retrains instead
+// of silently loading a stale artifact. Display-only fields are excluded:
+// relabeling a report row must not invalidate the cache.
+std::string fingerprint(const ModelEntry& entry) {
+  ModelEntry hashed = entry;
+  hashed.label.clear();
+  const std::string text = model_entry_to_json(hashed).dump();
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+Json robust_result_json(double x, const std::string& axis,
+                        const RobustResult& r) {
+  Json j = Json::object();
+  if (!axis.empty()) j.set(axis, x);
+  j.set("rerr_mean", static_cast<double>(r.mean_rerr));
+  j.set("rerr_std", static_cast<double>(r.std_rerr));
+  j.set("confidence", static_cast<double>(r.mean_confidence));
+  return j;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Report --
+
+Json Report::to_json() const {
+  Json j = Json::object();
+  j.set("experiment", spec.name);
+  j.set("kind", spec.kind);
+  j.set("backend", spec.backend);
+  j.set("spec", spec.to_json());
+  if (spec.kind == "serve") {
+    const ServeReport& s = serve;
+    Json sj = Json::object();
+    sj.set("clean_err", s.clean_err);
+    Json slo = Json::object();
+    slo.set("max_rerr", s.slo.max_rerr);
+    slo.set("z", s.slo.z);
+    sj.set("slo", slo);
+    sj.set("planner", plan_to_json(s.plan, s.slo));
+    Json fleet = Json::object();
+    fleet.set("replicas", static_cast<long>(s.canary_errs.size()));
+    Json errs = Json::array();
+    double mean_err = 0.0;
+    for (double e : s.canary_errs) {
+      errs.push_back(e);
+      mean_err += e;
+    }
+    if (!s.canary_errs.empty()) {
+      mean_err /= static_cast<double>(s.canary_errs.size());
+    }
+    fleet.set("canary_errs", std::move(errs));
+    fleet.set("mean_canary_err", mean_err);
+    fleet.set("slo_ok", mean_err <= s.slo.max_rerr);
+    fleet.set("energy_per_access", s.fleet_energy);
+    fleet.set("energy_saving", 1.0 - s.fleet_energy);
+    sj.set("fleet", std::move(fleet));
+    if (s.requests > 0) {
+      Json t = Json::object();
+      t.set("requests", s.requests);
+      t.set("answered", s.answered);
+      t.set("rejected", s.rejected);
+      t.set("mean_batch", s.mean_batch);
+      sj.set("traffic", std::move(t));
+    }
+    j.set("serve", std::move(sj));
+    return j;
+  }
+  Json ms = Json::array();
+  for (const ModelReport& m : models) {
+    Json mj = Json::object();
+    mj.set("name", m.name);
+    mj.set("label", m.label);
+    if (m.clean_err >= 0.0) mj.set("clean_err", m.clean_err);
+    mj.set("fault", m.fault);
+    Json points = Json::array();
+    for (const ReportPoint& pt : m.points) {
+      points.push_back(robust_result_json(pt.x, m.axis, pt.result));
+    }
+    mj.set("points", std::move(points));
+    ms.push_back(std::move(mj));
+  }
+  j.set("models", std::move(ms));
+  return j;
+}
+
+// ------------------------------------------------------------------ Runner --
+
+Runner::Runner(ExperimentSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+const Dataset& Runner::dataset(const DatasetSection& section, bool train) {
+  const std::string key =
+      section.name + (train ? "/train/" : "/test/") +
+      std::to_string(section.config.n_train) + "_" +
+      std::to_string(section.config.n_test) + "_" +
+      std::to_string(section.config.seed);
+  for (const auto& [k, d] : datasets_) {
+    if (k == key) return *d;
+  }
+  datasets_.emplace_back(
+      key, std::make_unique<Dataset>(make_synthetic(section.config, train)));
+  return *datasets_.back().second;
+}
+
+const Dataset& Runner::subset(const Dataset& full, long n) {
+  subsets_.push_back(
+      std::make_unique<Dataset>(full.head(std::min(n, full.size()))));
+  return *subsets_.back();
+}
+
+int Runner::n_trials() const {
+  return spec_.eval.n_trials > 0 ? spec_.eval.n_trials : zoo::default_chips();
+}
+
+Runner::ResolvedModel Runner::resolve(const ModelEntry& entry) {
+  ResolvedModel rm;
+  if (entry.is_zoo()) {
+    const zoo::Spec& zs = zoo::spec(entry.zoo);
+    rm.model = &zoo::get(entry.zoo);
+    rm.scheme = zoo::scheme_of(entry.zoo);
+    rm.name = entry.zoo;
+    rm.label = entry.label.empty() ? zs.label : entry.label;
+    rm.train_set = &zoo::train_set(zs.dataset);
+    rm.test_set = &zoo::test_set(zs.dataset);
+    rm.eval_set = spec_.eval.split == "rerr" ? &zoo::rerr_set(zs.dataset)
+                                             : rm.test_set;
+  } else {
+    const Dataset& train_data = dataset(entry.dataset, /*train=*/true);
+    const Dataset& test_data = dataset(entry.dataset, /*train=*/false);
+    auto model = build_model(entry.model);
+    const std::string ckpt =
+        entry.name.empty()
+            ? ""
+            : artifacts_dir() + "/api_" + entry.name + "_" +
+                  fingerprint(entry) + ".ckpt";
+    bool loaded = false;
+    if (!ckpt.empty() && file_exists(ckpt)) {
+      // The fingerprint covers the recipe, but stay defensive about stale /
+      // hand-edited artifacts: a mismatched stored scheme, or a truncated /
+      // corrupt file, forces a retrain (train() re-initializes the weights,
+      // so a partial load leaves no trace).
+      try {
+        loaded = load_checkpoint(ckpt, *model) == entry.quant;
+      } catch (const std::exception&) {
+        loaded = false;
+      }
+    }
+    if (!loaded) {
+      // The training scheme is ALWAYS the entry's quant section — the JSON
+      // parse path mirrors it, and enforcing it here covers builder-made
+      // entries where train.quant was left at its default.
+      TrainConfig tc = entry.train;
+      tc.quant = entry.quant;
+      // Training pins the reference backend (like the zoo) so a cached
+      // artifact never depends on which backend the surrounding run uses.
+      const kernels::ScopedBackend guard(kernels::backend("reference"));
+      train(*model, train_data, test_data, tc);
+      if (!ckpt.empty()) {
+        ensure_dir(artifacts_dir());
+        save_checkpoint(ckpt, *model, entry.quant);
+      }
+    }
+    rm.scheme = entry.quant;
+    rm.name = entry.name.empty() ? "inline" : entry.name;
+    rm.label = entry.label.empty() ? rm.name : entry.label;
+    rm.train_set = &train_data;
+    rm.test_set = &test_data;
+    if (spec_.eval.split == "rerr") {
+      rm.eval_set =
+          &subset(test_data, fast_mode() ? 200 : 500);
+    } else {
+      rm.eval_set = &test_data;
+    }
+    owned_models_.push_back(std::move(model));
+    rm.model = owned_models_.back().get();
+  }
+  if (spec_.eval.has_quant_override) rm.scheme = spec_.eval.quant_override;
+  if (spec_.eval.subset > 0) {
+    rm.eval_set = &subset(*rm.eval_set, spec_.eval.subset);
+  }
+  return rm;
+}
+
+Report Runner::run_robustness() {
+  Report report;
+  report.spec = spec_;
+  const EvalSection& e = spec_.eval;
+  const int n = n_trials();
+  for (const ModelEntry& entry : spec_.models) {
+    ResolvedModel rm = resolve(entry);
+    ModelReport mr;
+    mr.name = rm.name;
+    mr.label = rm.label;
+    if (e.clean_err) {
+      mr.clean_err = test_error(*rm.model, *rm.test_set, &rm.scheme, e.batch);
+    }
+
+    const bool float_space = spec_.fault.model == "linf";
+    std::optional<RobustnessEvaluator> evaluator;
+    if (float_space) {
+      evaluator.emplace(*rm.model);
+    } else {
+      evaluator.emplace(*rm.model, rm.scheme);
+    }
+    FaultContext ctx;
+    ctx.model = rm.model;
+    ctx.scheme = &rm.scheme;
+    ctx.attack_set = rm.train_set;
+    ctx.n_trials = n;
+    if (!float_space) ctx.layout = &evaluator->snapshot();
+
+    if (!e.rate_grid.empty()) {
+      auto fault = make_fault_model(spec_.fault.model,
+                                    resolved_fault_params(spec_, nullptr), ctx);
+      const auto* random = dynamic_cast<const RandomBitErrorModel*>(fault.get());
+      if (random == nullptr) {
+        throw std::invalid_argument(
+            "rate_grid sweeps need a RandomBitErrorModel-backed fault");
+      }
+      mr.axis = "p";
+      mr.fault = fault->describe();
+      const std::vector<RobustResult> sweep = evaluator->run_rate_sweep(
+          *random, e.rate_grid, *rm.eval_set, n, e.batch);
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        mr.points.push_back({e.rate_grid[i], sweep[i]});
+      }
+    } else if (!e.voltage_grid.empty()) {
+      auto fault = make_fault_model(spec_.fault.model,
+                                    resolved_fault_params(spec_, nullptr), ctx);
+      const auto* profiled = dynamic_cast<const ProfiledChipModel*>(fault.get());
+      if (profiled == nullptr) {
+        throw std::invalid_argument(
+            "voltage_grid sweeps need a ProfiledChipModel-backed fault");
+      }
+      mr.axis = "v";
+      mr.fault = fault->describe();
+      const std::vector<RobustResult> sweep = evaluator->run_voltage_sweep(
+          *profiled, e.voltage_grid, *rm.eval_set, n, e.batch);
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        mr.points.push_back({e.voltage_grid[i], sweep[i]});
+      }
+    } else if (!e.grid.empty()) {
+      mr.axis = e.grid.param;
+      for (const double value : e.grid.values) {
+        auto fault = make_fault_model(spec_.fault.model,
+                                      resolved_fault_params(spec_, &value), ctx);
+        mr.fault = fault->describe();
+        mr.points.push_back(
+            {value, evaluator->run(*fault, *rm.eval_set, n, e.batch)});
+      }
+    } else {
+      auto fault = make_fault_model(spec_.fault.model,
+                                    resolved_fault_params(spec_, nullptr), ctx);
+      mr.fault = fault->describe();
+      mr.points.push_back(
+          {0.0, evaluator->run(*fault, *rm.eval_set, n, e.batch)});
+    }
+    report.models.push_back(std::move(mr));
+  }
+  return report;
+}
+
+Report Runner::run_serve() {
+  Report report;
+  report.spec = spec_;
+  ServeReport& s = report.serve;
+  const ServeSection& sv = spec_.serve;
+  ResolvedModel rm = resolve(spec_.models.front());
+
+  s.clean_err = test_error(*rm.model, *rm.test_set, &rm.scheme, spec_.eval.batch);
+  s.slo.max_rerr = sv.slo.clean_plus >= 0.0 ? s.clean_err + sv.slo.clean_plus
+                                            : sv.slo.max_rerr;
+  s.slo.z = sv.slo.z;
+
+  OperatingPointPlanner planner(*rm.model, rm.scheme);
+  FaultContext ctx;
+  ctx.model = rm.model;
+  ctx.scheme = &rm.scheme;
+  ctx.n_trials = sv.n_chips;
+  ctx.layout = &planner.evaluator().snapshot();
+  auto fault = make_fault_model(spec_.fault.model,
+                                resolved_fault_params(spec_, nullptr), ctx);
+
+  std::vector<Replica> fleet;
+  if (const auto* random = dynamic_cast<const RandomBitErrorModel*>(fault.get())) {
+    s.plan = planner.plan(*random, *rm.eval_set, sv.voltages, s.slo, sv.n_chips,
+                          spec_.eval.batch);
+    fleet = planner.deploy_fleet(*random, s.plan, sv.replicas);
+  } else {
+    const auto& profiled = dynamic_cast<const ProfiledChipModel&>(*fault);
+    s.plan = planner.plan_profiled(profiled, *rm.eval_set, sv.voltages, s.slo,
+                                   sv.n_chips, spec_.eval.batch);
+    fleet = planner.deploy_fleet_profiled(profiled, s.plan, sv.replicas);
+  }
+
+  const Dataset& canary_set = sv.canary_subset > 0
+                                  ? subset(*rm.test_set, sv.canary_subset)
+                                  : *rm.test_set;
+  s.fleet_energy = planner.fleet_energy_per_access(fleet);
+  s.requests = sv.requests;
+
+  if (sv.requests > 0) {
+    // Drive single-image traffic through the dynamic-batching pool. With a
+    // bounded queue (max_queue_images) submissions can be rejected; the
+    // client retries with a short backoff (as a real load-shedding client
+    // would) and counts a request as rejected only once the retry budget is
+    // spent. Accepted requests must all answer (the no-loss contract).
+    ReplicaPool pool(std::move(fleet), sv.queue);
+    Tensor image;
+    std::vector<int> labels;
+    std::vector<std::future<std::vector<Prediction>>> futures;
+    futures.reserve(static_cast<std::size_t>(sv.requests));
+    for (long i = 0; i < sv.requests; ++i) {
+      const long j = i % rm.test_set->size();
+      rm.test_set->batch(j, j + 1, image, labels);
+      Tensor single = image.reshaped(
+          {image.shape(1), image.shape(2), image.shape(3)});
+      for (int attempt = 0;; ++attempt) {
+        try {
+          // Copy per attempt: a rejected submit consumes its argument.
+          futures.push_back(pool.submit(single));
+          break;
+        } catch (const QueueFullError&) {
+          if (attempt >= 20) {
+            ++s.rejected;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+      }
+    }
+    for (auto& f : futures) s.answered += static_cast<long>(f.get().size());
+    pool.drain();
+    s.mean_batch = pool.stats().mean_batch_images;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      s.canary_errs.push_back(pool.replica(i).canary(canary_set).error);
+    }
+  } else {
+    for (Replica& r : fleet) {
+      s.canary_errs.push_back(r.canary(canary_set).error);
+    }
+  }
+  return report;
+}
+
+Report Runner::run() {
+  const kernels::ScopedBackend guard(kernels::backend(spec_.backend));
+  return spec_.kind == "serve" ? run_serve() : run_robustness();
+}
+
+// -------------------------------------------------------------- Experiment --
+
+Experiment::Experiment(std::string name) { spec_.name = std::move(name); }
+
+Experiment& Experiment::description(std::string text) {
+  spec_.description = std::move(text);
+  return *this;
+}
+
+Experiment& Experiment::backend(std::string name) {
+  spec_.backend = std::move(name);
+  return *this;
+}
+
+Experiment& Experiment::zoo(const std::string& zoo_name) {
+  ModelEntry e;
+  e.zoo = zoo_name;
+  spec_.models.push_back(std::move(e));
+  return *this;
+}
+
+Experiment& Experiment::model(ModelEntry entry) {
+  spec_.models.push_back(std::move(entry));
+  return *this;
+}
+
+Experiment& Experiment::fault(std::string model, Json params) {
+  spec_.fault.model = std::move(model);
+  spec_.fault.params = std::move(params);
+  return *this;
+}
+
+Experiment& Experiment::rate_grid(std::vector<double> grid) {
+  spec_.eval.rate_grid = std::move(grid);
+  return *this;
+}
+
+Experiment& Experiment::voltage_grid(std::vector<double> grid) {
+  spec_.eval.voltage_grid = std::move(grid);
+  return *this;
+}
+
+Experiment& Experiment::param_grid(std::string param,
+                                   std::vector<double> values) {
+  spec_.eval.grid.param = std::move(param);
+  spec_.eval.grid.values = std::move(values);
+  return *this;
+}
+
+Experiment& Experiment::trials(int n) {
+  spec_.eval.n_trials = n;
+  return *this;
+}
+
+Experiment& Experiment::split(std::string split) {
+  spec_.eval.split = std::move(split);
+  return *this;
+}
+
+Experiment& Experiment::subset(long n) {
+  spec_.eval.subset = n;
+  return *this;
+}
+
+Experiment& Experiment::batch(long n) {
+  spec_.eval.batch = n;
+  return *this;
+}
+
+Experiment& Experiment::clean_err(bool enabled) {
+  spec_.eval.clean_err = enabled;
+  return *this;
+}
+
+Experiment& Experiment::eval_quant(const QuantScheme& scheme) {
+  spec_.eval.has_quant_override = true;
+  spec_.eval.quant_override = scheme;
+  return *this;
+}
+
+Experiment& Experiment::serve(ServeSection section) {
+  spec_.kind = "serve";
+  spec_.serve = std::move(section);
+  return *this;
+}
+
+ExperimentSpec Experiment::spec() const {
+  ExperimentSpec s = spec_;
+  s.validate();
+  return s;
+}
+
+// Runner's constructor validates, so don't pay spec()'s extra pass.
+Report Experiment::run() const { return Runner(spec_).run(); }
+
+}  // namespace ber::api

@@ -1,18 +1,26 @@
-#include "zoo.h"
+#include "api/zoo.h"
 
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
+
+#include "api/registry.h"
+#include "core/env.h"
+#include "core/parallel.h"
+#include "core/table.h"
+#include "data/shapes.h"
+#include "kernels/backend.h"
 
 namespace ber::zoo {
 
 namespace {
 
+// One source of truth for tag -> dataset preset: the api registry (inline
+// spec models and zoo models must agree on what "c10" means).
 SyntheticConfig data_config(const std::string& tag) {
-  if (tag == "c10") return SyntheticConfig::cifar10();
-  if (tag == "mnist") return SyntheticConfig::mnist();
-  if (tag == "c100") return SyntheticConfig::cifar100();
-  throw std::invalid_argument("zoo: unknown dataset tag " + tag);
+  return api::dataset_by_name(tag);
 }
 
 ModelConfig model_for(const std::string& tag) {

@@ -1,0 +1,56 @@
+// The model zoo: named (dataset, architecture, training method) specs.
+//
+// Every paper table/figure needs trained models; the zoo maps a stable name
+// to a spec, trains the model the first time it is requested and caches the
+// checkpoint under the artifacts directory, so the full bench suite trains
+// each configuration exactly once across all binaries and runs. It lives in
+// the library (not bench/) because the declarative experiment API
+// (src/api/spec.h) resolves {"zoo": "<name>"} model entries through it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/factory.h"
+#include "nn/sequential.h"
+#include "quant/quantizer.h"
+#include "train/trainer.h"
+
+namespace ber::zoo {
+
+struct Spec {
+  std::string name;     // zoo key and artifact file stem
+  std::string dataset;  // "c10" | "mnist" | "c100"
+  ModelConfig model;
+  TrainConfig train_cfg;
+  std::string label;    // paper-style row label, e.g. "Clipping_0.1"
+};
+
+// All registered specs (the full experiment grid).
+const std::vector<Spec>& all_specs();
+const Spec& spec(const std::string& name);
+
+// Returns the trained model for `name` (training + caching on first use).
+// The reference stays valid for the process lifetime. NOT thread-safe with
+// concurrent get() of the same name — use ensure() to prefetch in parallel.
+Sequential& get(const std::string& name);
+
+// Trains any missing models among `names`, two at a time.
+void ensure(const std::vector<std::string>& names);
+
+// Shared datasets (built once).
+const Dataset& train_set(const std::string& tag);
+const Dataset& test_set(const std::string& tag);
+// Reduced test subset used for RErr sampling (500 examples; 200 in fast
+// mode) — RErr is averaged over chips, so the subset keeps benches fast.
+const Dataset& rerr_set(const std::string& tag);
+
+// Number of random-bit-error chips per RErr estimate (5; 2 in fast mode).
+int default_chips();
+
+// Quantization scheme the model was trained with (and should be deployed
+// with) — convenience accessor for spec(name).train_cfg.quant.
+const QuantScheme& scheme_of(const std::string& name);
+
+}  // namespace ber::zoo

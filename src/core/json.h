@@ -1,0 +1,112 @@
+// Minimal JSON value, parser and emitter — no third-party dependencies.
+//
+// This is the serialization substrate of the declarative experiment API
+// (src/api/): ExperimentSpec round-trips through it, ber_run reads spec
+// files with it, the Runner emits structured Reports with it, and the JSON
+// benches (bench_injection / bench_kernels / bench_serving /
+// bench_adv_attack) build their reports on it instead of ad-hoc printf
+// string-building.
+//
+// Scope, deliberately small:
+//   * values: null, bool, number (double), string, array, object;
+//   * objects preserve insertion order (spec files stay diff-able after a
+//     parse -> emit round trip) — equality is therefore order-sensitive;
+//   * the parser accepts // line comments (spec files are documented
+//     in-line; the emitter never writes comments);
+//   * numbers are emitted with the shortest representation that parses back
+//     to the same double (std::to_chars), so parse(dump(x)) == x exactly —
+//     the property the spec round-trip tests pin.
+//
+// Parse errors throw JsonError with a line:column location and a hint.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ber {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;  // insertion-ordered
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* v) : type_(Type::kString), str_(v) {}
+  Json(std::string v) : type_(Type::kString), str_(std::move(v)) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json array(Array items) {
+    Json j; j.type_ = Type::kArray; j.arr_ = std::move(items); return j;
+  }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw JsonError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  // as_number, checked to be integral and in range.
+  long as_int() const;
+  const std::string& as_string() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  // Array building / access.
+  Json& push_back(Json v);
+  std::size_t size() const;              // array items or object members
+  const Json& operator[](std::size_t i) const;
+
+  // Object building / access. set() replaces an existing key in place.
+  Json& set(const std::string& key, Json value);
+  bool contains(const std::string& key) const;
+  // Pointer to the member value, or nullptr when absent (object only).
+  const Json* find(const std::string& key) const;
+  // Member lookup; throws JsonError when the key is absent.
+  const Json& at(const std::string& key) const;
+
+  bool operator==(const Json& other) const;
+
+  // Parses a JSON document (with optional // line comments). Trailing
+  // non-whitespace after the document is an error.
+  static Json parse(const std::string& text);
+  // Reads and parses a file; errors mention the path.
+  static Json parse_file(const std::string& path);
+
+  // Serializes. indent < 0 -> compact one-liner; indent >= 0 -> pretty,
+  // `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace ber

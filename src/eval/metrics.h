@@ -2,10 +2,13 @@
 // bit errors (RErr, mean ± std over chips), profiled-chip RErr, L-inf weight
 // noise robustness and logit/confidence statistics.
 //
-// The three robustness entry points are thin adapters over the unified
-// FaultModel / RobustnessEvaluator pipeline (src/faults/); use that API
-// directly for new scenarios, model reuse across sweeps, or multi-rate
-// evaluation.
+// The robustness entry points are thin adapters over the unified FaultModel
+// / RobustnessEvaluator pipeline (src/faults/), and construct their fault
+// models through the api registry by name ("random" / "profiled" /
+// "adversarial" / "linf" — src/api/registry.h), so these helpers and spec
+// files provably share one construction path. Use api::Experiment (or a
+// ber_run config file) for new scenarios, model reuse across sweeps, or
+// multi-rate evaluation.
 #pragma once
 
 #include <cstdint>

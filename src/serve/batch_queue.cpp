@@ -10,6 +10,10 @@ BatchQueue::BatchQueue(BatchQueueConfig config) : config_(config) {
     throw std::invalid_argument(
         "BatchQueue: max_batch must be >= 1 and max_wait_us >= 0");
   }
+  if (config_.max_queue_images < 0) {
+    throw std::invalid_argument(
+        "BatchQueue: max_queue_images must be >= 0 (0 = unbounded)");
+  }
 }
 
 std::future<std::vector<Prediction>> BatchQueue::submit(Tensor input) {
@@ -29,7 +33,19 @@ std::future<std::vector<Prediction>> BatchQueue::submit(Tensor input) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) throw std::runtime_error("BatchQueue::submit: queue closed");
+    // Admission control: reject (leaving the queue untouched) rather than
+    // letting an unserved backlog grow without bound. An oversized request
+    // against an empty queue is still admitted — like max_batch, the bound
+    // never makes a request impossible, only a backlog.
+    if (config_.max_queue_images > 0 && queued_images_ > 0 &&
+        queued_images_ + req.n_images > config_.max_queue_images) {
+      throw QueueFullError(
+          "BatchQueue::submit: queue full (" + std::to_string(queued_images_) +
+          " images queued, max_queue_images=" +
+          std::to_string(config_.max_queue_images) + ")");
+    }
     queue_.push_back(std::move(req));
+    queued_images_ += queue_.back().n_images;
   }
   cv_.notify_one();
   return fut;
@@ -54,6 +70,7 @@ WorkBatch BatchQueue::pop() {
       }
       wb.requests.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      queued_images_ -= n;
       wb.total_images += n;
       if (wb.total_images >= config_.max_batch) return wb;
     }
@@ -82,6 +99,11 @@ bool BatchQueue::closed() const {
 long BatchQueue::depth() const {
   std::lock_guard<std::mutex> lk(mu_);
   return static_cast<long>(queue_.size());
+}
+
+long BatchQueue::depth_images() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_images_;
 }
 
 }  // namespace ber

@@ -8,7 +8,13 @@
 // first" batching. A pre-batched request is never split; one larger than
 // max_batch is taken alone.
 //
-// Correctness contract (tested in tests/test_serve.cpp): every submitted
+// Admission control: max_queue_images bounds the queued-but-unserved image
+// count. A submit() that would push the backlog past the bound throws
+// QueueFullError (a typed rejection — callers shed load or retry) and the
+// queue is untouched; 0 keeps the queue unbounded. The bound only rejects at
+// the front door: every ACCEPTED request keeps the full contract below.
+//
+// Correctness contract (tested in tests/test_serve.cpp): every accepted
 // request is delivered to exactly one pop() — no losses, no duplicates, in
 // FIFO order — and close() wakes all consumers while letting queued work
 // drain.
@@ -19,11 +25,19 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace ber {
+
+// Thrown by BatchQueue::submit when the queue is at max_queue_images.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct Prediction {
   int label = -1;
@@ -33,6 +47,9 @@ struct Prediction {
 struct BatchQueueConfig {
   long max_batch = 32;      // images per coalesced forward pass
   long max_wait_us = 1000;  // linger after the first dequeued request
+  // Queued-image bound for admission control; submissions that would exceed
+  // it throw QueueFullError. 0 = unbounded (the historical behaviour).
+  long max_queue_images = 0;
 };
 
 // One queued request plus its fulfillment slot.
@@ -56,7 +73,8 @@ class BatchQueue {
 
   // Enqueues `input` and returns a future resolving to one Prediction per
   // image, in input order. Throws std::invalid_argument for tensors that are
-  // not [C,H,W] / [N,C,H,W], std::runtime_error after close().
+  // not [C,H,W] / [N,C,H,W], QueueFullError when the bound would be
+  // exceeded, std::runtime_error after close().
   std::future<std::vector<Prediction>> submit(Tensor input);
 
   // Blocks until work is available, then coalesces. An empty WorkBatch means
@@ -68,13 +86,15 @@ class BatchQueue {
   void close();
 
   bool closed() const;
-  long depth() const;  // queued (not yet popped) requests
+  long depth() const;         // queued (not yet popped) requests
+  long depth_images() const;  // queued (not yet popped) images
 
  private:
   BatchQueueConfig config_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
+  long queued_images_ = 0;
   bool closed_ = false;
 };
 

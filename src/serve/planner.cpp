@@ -164,4 +164,27 @@ double OperatingPointPlanner::fleet_energy_per_access(
   return sum / static_cast<double>(fleet.size());
 }
 
+Json plan_to_json(const OperatingPointPlan& plan, const SloConfig& slo) {
+  Json grid = Json::array();
+  for (const GridPoint& g : plan.grid) {
+    Json gj = Json::object();
+    gj.set("v", g.voltage);
+    gj.set("p", g.rate);
+    gj.set("rerr_mean", static_cast<double>(g.rerr.mean_rerr));
+    gj.set("rerr_std", static_cast<double>(g.rerr.std_rerr));
+    gj.set("ucb", slo.upper_bound(g.rerr));
+    gj.set("energy", g.energy);
+    gj.set("feasible", g.feasible);
+    grid.push_back(std::move(gj));
+  }
+  Json j = Json::object();
+  j.set("grid", std::move(grid));
+  j.set("feasible", plan.feasible);
+  j.set("chosen_v", plan.chosen_point().voltage);
+  j.set("chosen_p", plan.chosen_point().rate);
+  j.set("below_vmin", plan.below_vmin);
+  j.set("energy_saving", plan.energy_saving);
+  return j;
+}
+
 }  // namespace ber

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/json.h"
 #include "data/dataset.h"
 #include "energy/energy_model.h"
 #include "faults/evaluator.h"
@@ -66,6 +67,12 @@ struct OperatingPointPlan {
 // the last feasible point. `grid` must be in descending-voltage order.
 OperatingPointPlan select_operating_point(std::vector<GridPoint> grid,
                                           const SloConfig& slo);
+
+// The plan as a JSON object — one schema shared by every report that
+// carries a planner section (api::Report, bench_serving): per-point
+// {v, p, rerr_mean, rerr_std, ucb, energy, feasible} under "grid", plus
+// feasible / chosen_v / chosen_p / below_vmin / energy_saving.
+Json plan_to_json(const OperatingPointPlan& plan, const SloConfig& slo);
 
 class OperatingPointPlanner {
  public:

@@ -344,6 +344,57 @@ TEST(CoalescedConv, BackwardMatchesPerImage) {
   }
 }
 
+// 1x1 / stride-1 / no-pad convolutions elide im2col in inference mode (a
+// plain GEMM on the input). The GEMM consumes exactly the bytes the lowered
+// path would copy, so inference output must be BIT-identical to the
+// training-mode forward (which still lowers to fill the backward cache),
+// under both backends.
+TEST(PointwiseConv, ElisionIsBitExactWithLoweredPath) {
+  Rng rng(27);
+  for (const long batch : {1L, 5L}) {
+    Conv2d conv(6, 9, /*kernel=*/1, /*stride=*/1, /*pad=*/0);
+    for (Param* p : conv.params()) {
+      for (long i = 0; i < p->value.numel(); ++i) {
+        p->value[i] = rng.normal() * 0.2f;
+      }
+    }
+    Tensor x = Tensor::randn({batch, 6, 7, 7}, rng);
+    for (const char* backend : {"reference", "blocked"}) {
+      kernels::ScopedBackend g(backend);
+      Tensor lowered = conv.forward(x, /*training=*/true);
+      Tensor elided = conv.forward(x, /*training=*/false);
+      ASSERT_EQ(elided.shape(), lowered.shape());
+      for (long i = 0; i < elided.numel(); ++i) {
+        ASSERT_EQ(elided[i], lowered[i])
+            << backend << " batch=" << batch << " i=" << i;
+      }
+    }
+  }
+}
+
+// Strided / padded / k>1 convs must NOT take the pointwise shortcut.
+TEST(PointwiseConv, NonPointwiseShapesKeepLoweredSemantics) {
+  Rng rng(28);
+  Conv2d conv(3, 4, /*kernel=*/1, /*stride=*/2, /*pad=*/0);
+  for (Param* p : conv.params()) {
+    for (long i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = rng.normal() * 0.2f;
+    }
+  }
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y_ref, y_blk;
+  {
+    kernels::ScopedBackend g("reference");
+    y_ref = conv.forward(x, false);
+  }
+  {
+    kernels::ScopedBackend g("blocked");
+    y_blk = conv.forward(x, false);
+  }
+  ASSERT_EQ(y_ref.shape(), (std::vector<long>{2, 4, 4, 4}));
+  EXPECT_LT(max_rel_err(y_blk, y_ref), 1e-4f);
+}
+
 TEST(CoalescedConv, GradcheckUnderBlockedBackend) {
   kernels::ScopedBackend guard("blocked");
   Rng rng(23);

@@ -368,6 +368,43 @@ TEST(BatchQueue, RejectsMalformedInput) {
   EXPECT_THROW(q.submit(Tensor({0, 1, 4, 4})), std::invalid_argument);
 }
 
+TEST(BatchQueue, BoundedQueueRejectsOnFullWithTypedError) {
+  BatchQueue q({/*max_batch=*/8, /*max_wait_us=*/0, /*max_queue_images=*/3});
+  auto f0 = q.submit(Tensor({1, 4, 4}));
+  auto f1 = q.submit(Tensor({2, 1, 4, 4}));  // backlog now 3 images (= bound)
+  EXPECT_EQ(q.depth_images(), 3);
+  // At the bound: single images and pre-batches both shed, queue untouched.
+  EXPECT_THROW(q.submit(Tensor({1, 4, 4})), QueueFullError);
+  EXPECT_THROW(q.submit(Tensor({2, 1, 4, 4})), QueueFullError);
+  EXPECT_EQ(q.depth(), 2);
+  EXPECT_EQ(q.depth_images(), 3);
+
+  // The no-loss/no-dup contract holds for the ACCEPTED work: both requests
+  // drain, in FIFO order, exactly once.
+  WorkBatch wb = q.pop();
+  ASSERT_EQ(wb.requests.size(), 2u);
+  EXPECT_EQ(wb.requests[0].n_images, 1);
+  EXPECT_EQ(wb.requests[1].n_images, 2);
+  EXPECT_EQ(q.depth_images(), 0);
+
+  // Popping freed the budget: submissions are admitted again.
+  auto f2 = q.submit(Tensor({3, 1, 4, 4}));
+  EXPECT_EQ(q.depth_images(), 3);
+  // An oversized request against an EMPTY queue is still admitted (the
+  // bound sheds backlog, it never makes a request impossible).
+  (void)q.pop();
+  auto f3 = q.submit(Tensor({9, 1, 4, 4}));
+  EXPECT_EQ(q.depth_images(), 9);
+}
+
+TEST(BatchQueue, UnboundedByDefaultAndNegativeBoundRejected) {
+  BatchQueue q({8, 0});  // max_queue_images defaults to 0 = unbounded
+  for (int i = 0; i < 100; ++i) q.submit(Tensor({1, 4, 4}));
+  EXPECT_EQ(q.depth_images(), 100);
+  EXPECT_THROW(BatchQueue({8, 0, /*max_queue_images=*/-1}),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------------ replica pool -
 
 // Builds a fleet whose replicas all serve the SAME chip (trial 0), so

@@ -1,0 +1,163 @@
+// ber_run: execute any declarative experiment spec.
+//
+//   ber_run configs/tab4.json                # run, report JSON on stdout
+//   ber_run --table configs/tab4.json       # + paper-style console table
+//   ber_run --out report.json configs/...   # write the report to a file
+//   ber_run --print-spec configs/...        # parse+validate+echo, no run
+//   ber_run --list                          # registry names a spec can use
+//
+// Multiple spec files run in order; with --out, report files are suffixed
+// by the experiment name when more than one spec is given. Robustness
+// results are bit-identical to the historical bench binaries for the same
+// scenario (the tab4 config reproduces bench_tab4_randbet exactly — pinned
+// in tests/test_api.cpp).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ber.h"
+
+namespace {
+
+using namespace ber;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ber_run [--out FILE] [--table] [--print-spec] "
+               "SPEC.json [SPEC.json ...]\n"
+               "       ber_run --list\n");
+  return 2;
+}
+
+void list_registries() {
+  Json j = Json::object();
+  Json faults = Json::array();
+  for (const auto& n : api::fault_models().names()) faults.push_back(n);
+  j.set("fault_models", faults);
+  Json backends = Json::array();
+  for (const auto& n : kernels::backend_names()) backends.push_back(n);
+  j.set("backends", backends);
+  Json zoo_models = Json::array();
+  for (const auto& s : zoo::all_specs()) zoo_models.push_back(s.name);
+  j.set("zoo_models", zoo_models);
+  const auto names_json = [](const std::vector<std::string>& names) {
+    Json arr = Json::array();
+    for (const std::string& n : names) arr.push_back(n);
+    return arr;
+  };
+  j.set("archs", names_json(api::arch_names()));
+  j.set("norms", names_json(api::norm_names()));
+  j.set("datasets", names_json(api::dataset_names()));
+  j.set("quant_schemes", names_json(api::quant_scheme_names()));
+  j.set("training_methods", names_json(api::method_names()));
+  std::printf("%s\n", j.dump(2).c_str());
+}
+
+// Paper-style console table of a robustness report (one row per model).
+void print_table(const api::Report& report) {
+  if (report.spec.kind != "robustness" || report.models.empty()) return;
+  const api::ModelReport& first = report.models.front();
+  std::vector<std::string> headers{"Model"};
+  if (first.clean_err >= 0.0) headers.push_back("Err (%)");
+  for (const api::ReportPoint& pt : first.points) {
+    headers.push_back(first.axis.empty()
+                          ? "RErr"
+                          : first.axis + "=" + TablePrinter::fmt(pt.x, 4));
+  }
+  TablePrinter t(headers);
+  for (const api::ModelReport& m : report.models) {
+    std::vector<std::string> row{m.label};
+    if (m.clean_err >= 0.0) {
+      row.push_back(TablePrinter::fmt(100.0 * m.clean_err, 2));
+    }
+    for (const api::ReportPoint& pt : m.points) {
+      row.push_back(TablePrinter::fmt_pm(100.0 * pt.result.mean_rerr,
+                                         100.0 * pt.result.std_rerr));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool table = false, print_spec = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list_registries();
+      return 0;
+    } else if (arg == "--table") {
+      table = true;
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  std::set<std::string> written;
+  for (const std::string& file : files) {
+    api::ExperimentSpec spec;
+    try {
+      spec = api::ExperimentSpec::load(file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ber_run: %s: %s\n", file.c_str(), e.what());
+      return 1;
+    }
+    if (print_spec) {
+      std::printf("%s\n", spec.to_json().dump(2).c_str());
+      continue;
+    }
+    std::fprintf(stderr, "[ber_run] %s: experiment \"%s\" (%s, backend %s)\n",
+                 file.c_str(), spec.name.c_str(), spec.kind.c_str(),
+                 spec.backend.c_str());
+    api::Report report;
+    try {
+      report = api::Runner(spec).run();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ber_run: %s: %s\n", file.c_str(), e.what());
+      return 1;
+    }
+    const std::string text = report.to_json().dump(2);
+    if (out_path.empty()) {
+      std::printf("%s\n", text.c_str());
+    } else {
+      std::string path = out_path;
+      if (files.size() > 1) {
+        const std::size_t dot = path.rfind(".json");
+        const std::string stem =
+            dot == std::string::npos ? path : path.substr(0, dot);
+        path = stem + "_" + spec.name + ".json";
+        // Two specs may share an experiment name — never clobber an
+        // earlier report silently.
+        int n = 2;
+        while (written.count(path) != 0) {
+          path = stem + "_" + spec.name + "_" + std::to_string(n++) + ".json";
+        }
+      }
+      written.insert(path);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "ber_run: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << text << "\n";
+      std::fprintf(stderr, "[ber_run] report written to %s\n", path.c_str());
+    }
+    if (table) print_table(report);
+  }
+  return 0;
+}
