@@ -237,6 +237,9 @@ Report Runner::run_robustness() {
       evaluator.emplace(*rm.model);
     } else {
       evaluator.emplace(*rm.model, rm.scheme);
+      // Spec opt-in only adds to the environment default (set via the
+      // evaluator's own member initializer) — it never forces it off.
+      if (spec_.compute_on_codes) evaluator->set_compute_on_codes(true);
     }
     FaultContext ctx;
     ctx.model = rm.model;
@@ -309,6 +312,7 @@ Report Runner::run_serve() {
   s.slo.z = sv.slo.z;
 
   OperatingPointPlanner planner(*rm.model, rm.scheme);
+  if (spec_.compute_on_codes) planner.set_compute_on_codes(true);
   FaultContext ctx;
   ctx.model = rm.model;
   ctx.scheme = &rm.scheme;
@@ -395,6 +399,11 @@ Experiment& Experiment::description(std::string text) {
 
 Experiment& Experiment::backend(std::string name) {
   spec_.backend = std::move(name);
+  return *this;
+}
+
+Experiment& Experiment::compute_on_codes(bool on) {
+  spec_.compute_on_codes = on;
   return *this;
 }
 

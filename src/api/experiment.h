@@ -111,6 +111,7 @@ class Experiment {
 
   Experiment& description(std::string text);
   Experiment& backend(std::string name);
+  Experiment& compute_on_codes(bool on = true);
   Experiment& zoo(const std::string& zoo_name);
   Experiment& model(ModelEntry entry);
   // Fault params as a Json object (or omit for defaults).

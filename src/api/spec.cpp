@@ -293,6 +293,8 @@ ExperimentSpec ExperimentSpec::from_json(const Json& j) {
   spec.description = p.str("description", "");
   spec.kind = p.str("kind", spec.kind);
   spec.backend = p.str("backend", spec.backend);
+  spec.compute_on_codes =
+      p.boolean("compute_on_codes", spec.compute_on_codes);
 
   const Json& models = p.raw("models");
   if (models.is_array()) {
@@ -347,6 +349,7 @@ Json ExperimentSpec::to_json() const {
   if (!description.empty()) j.set("description", description);
   j.set("kind", kind);
   j.set("backend", backend);
+  if (compute_on_codes) j.set("compute_on_codes", true);
   Json ms = Json::array();
   for (const ModelEntry& e : models) ms.push_back(model_entry_to_json(e));
   j.set("models", ms);

@@ -105,6 +105,11 @@ struct ExperimentSpec {
   std::string description;
   std::string kind = "robustness";  // "robustness" | "serve"
   std::string backend = "reference";
+  // Compute-on-codes inference for code-space deploys: weight layers adopt
+  // the (faulted) quantized code words and forwards run the backend's int8
+  // qgemm over them instead of dequantize-then-float. When false, the
+  // BER_COMPUTE_ON_CODES environment toggle still applies at run time.
+  bool compute_on_codes = false;
   std::vector<ModelEntry> models;
   FaultSection fault;
   EvalSection eval;

@@ -208,6 +208,51 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
   return total;
 }
 
+std::size_t ChipFaultList::apply_delta(NetSnapshot& cur,
+                                       const NetSnapshot& base, double p_from,
+                                       double p_to,
+                                       std::vector<ChangedCode>* changed) const {
+  if (p_from > p_max_ || p_to > p_max_) {
+    throw std::invalid_argument("ChipFaultList::apply_delta: p exceeds p_max");
+  }
+  if (cur.tensors.size() != tensor_sizes_.size() ||
+      base.tensors.size() != tensor_sizes_.size()) {
+    throw std::invalid_argument("ChipFaultList::apply_delta: layout mismatch");
+  }
+  for (std::size_t t = 0; t < cur.tensors.size(); ++t) {
+    if (cur.tensors[t].codes.size() != tensor_sizes_[t] ||
+        cur.tensors[t].scheme.bits != tensor_bits_[t] ||
+        base.tensors[t].codes.size() != tensor_sizes_[t]) {
+      throw std::invalid_argument(
+          "ChipFaultList::apply_delta: layout mismatch");
+    }
+  }
+  std::size_t faulted_at_to = 0;
+  for (const Shard& shard : shards_) {
+    const std::vector<ChipFault>& faults = shard.faults;
+    QuantizedTensor& qt = cur.tensors[shard.tensor];
+    const QuantizedTensor& bt = base.tensors[shard.tensor];
+    for (std::size_t k = 0; k < faults.size();) {
+      const std::uint32_t idx = faults[k].index;
+      const std::uint16_t clean = bt.codes[idx];
+      std::uint16_t code_from = clean;
+      std::uint16_t code_to = clean;
+      for (; k < faults.size() && faults[k].index == idx; ++k) {
+        const int bit = faults[k].bit;
+        const FaultType type = static_cast<FaultType>(faults[k].type);
+        if (faults[k].u < p_from) code_from = apply_fault(code_from, bit, type);
+        if (faults[k].u < p_to) code_to = apply_fault(code_to, bit, type);
+      }
+      if (code_to != clean) ++faulted_at_to;
+      if (code_to != code_from) {
+        qt.codes[idx] = code_to;
+        if (changed != nullptr) changed->push_back({shard.tensor, idx});
+      }
+    }
+  }
+  return faulted_at_to;
+}
+
 std::size_t inject_random_bit_errors(NetSnapshot& snap,
                                      const BitErrorConfig& config,
                                      std::uint64_t chip_seed) {

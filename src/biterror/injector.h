@@ -105,6 +105,28 @@ class ChipFaultList {
   // O(#faults); no hashing. Same `threads` contract as the constructor.
   std::size_t apply(NetSnapshot& snap, double p, int threads = 1) const;
 
+  // One (tensor, element) coordinate whose code word apply_delta rewrote.
+  struct ChangedCode {
+    std::uint32_t tensor;
+    std::uint32_t index;
+  };
+
+  // Moves a deployed snapshot between fault rates without a full redeploy:
+  // `cur` holds base + faults(p_from) and is patched in place to
+  // base + faults(p_to); `base` is the clean snapshot the faults were
+  // applied to (same layout, also checked). Because faults are persistent
+  // (the cells faulty at min(p_from, p_to) are a subset of those at the
+  // larger rate), only code words whose faulted value differs between the
+  // two rates are rewritten — each is appended to `changed` (if non-null)
+  // so the caller can patch downstream mirrors in O(#delta) instead of
+  // O(W). Works in both directions (step up or down). The return value is
+  // the number of code words differing from `base` at p_to — identical to
+  // what apply(base-copy, p_to) would return, so fault-count accounting is
+  // unchanged under delta deploys.
+  std::size_t apply_delta(NetSnapshot& cur, const NetSnapshot& base,
+                          double p_from, double p_to,
+                          std::vector<ChangedCode>* changed) const;
+
   std::uint64_t chip_seed() const { return chip_seed_; }
   double p_max() const { return p_max_; }
   std::size_t size() const;

@@ -97,7 +97,7 @@ RobustResult RobustnessEvaluator::run(const FaultModel& fault,
                  } else {
                    NetSnapshot snap = base_snap_;
                    fault.apply(snap, static_cast<std::uint64_t>(trial));
-                   quantizer_->write_dequantized(snap, params);
+                   deploy_snapshot(snap, param_slots(clone), on_codes_);
                  }
                } else {
                  // Reset to the pristine weights before perturbing: unlike
@@ -129,11 +129,11 @@ std::vector<RobustResult> RobustnessEvaluator::run_grid_sweep(
                // (persistence).
                const ChipFaultList faults =
                    build_list(static_cast<std::uint64_t>(trial));
-               const auto params = clone.params();
+               const std::vector<ParamSlot> slots = param_slots(clone);
                for (std::size_t r = 0; r < n_points; ++r) {
                  NetSnapshot snap = base_snap_;
                  faults.apply(snap, rate_of(r));
-                 quantizer_->write_dequantized(snap, params);
+                 deploy_snapshot(snap, slots, on_codes_);
                  const EvalResult res = evaluate(clone, data, batch);
                  errs[r][static_cast<std::size_t>(trial)] = res.error;
                  confs[r][static_cast<std::size_t>(trial)] = res.confidence;

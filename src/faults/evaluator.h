@@ -71,6 +71,14 @@ class RobustnessEvaluator {
   // The quantized baseline snapshot (empty in float-space mode).
   const NetSnapshot& snapshot() const { return base_snap_; }
 
+  // Compute-on-codes deployment for code-space trials: weight layers adopt
+  // the faulted code words (nn/code_compute.h) and inference runs the
+  // backend's int8 qgemm over them instead of dequantize-then-float. Only
+  // affects kQuantizedCodes fault models; defaults to the
+  // BER_COMPUTE_ON_CODES environment toggle.
+  void set_compute_on_codes(bool on) { on_codes_ = on; }
+  bool compute_on_codes() const { return on_codes_; }
+
   // Runs `n_trials` trials of `fault` and aggregates RErr / confidence.
   RobustResult run(const FaultModel& fault, const Dataset& data, int n_trials,
                    long batch = 200) const;
@@ -105,6 +113,7 @@ class RobustnessEvaluator {
   Sequential& model_;
   std::optional<NetQuantizer> quantizer_;
   NetSnapshot base_snap_;
+  bool on_codes_ = compute_on_codes_default();
 };
 
 }  // namespace ber

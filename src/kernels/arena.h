@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ber::kernels {
@@ -31,6 +32,16 @@ class Arena {
   // Returns `n` floats of scratch (uninitialized). The pointer stays valid
   // until the enclosing ArenaScope unwinds past the allocation (or reset()).
   float* alloc(std::size_t n);
+
+  // Byte / int32 views of float-granular scratch for the int8 kernels —
+  // same lifetime rules, 4-byte aligned.
+  std::uint8_t* alloc_bytes(std::size_t n) {
+    return reinterpret_cast<std::uint8_t*>(
+        alloc((n + sizeof(float) - 1) / sizeof(float)));
+  }
+  std::int32_t* alloc_i32(std::size_t n) {
+    return reinterpret_cast<std::int32_t*>(alloc(n));
+  }
 
   // Rewinds every chunk to empty; capacity is retained for reuse.
   void reset();

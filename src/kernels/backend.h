@@ -24,7 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "kernels/qweight.h"
+
 namespace ber::kernels {
+
+struct ConvShape;
 
 class Backend {
  public:
@@ -48,6 +52,38 @@ class Backend {
   // Whether convolution should lower the whole batch into one column matrix
   // ([in*k*k, N*OH*OW], one GEMM) instead of per-image lowering.
   virtual bool coalesced_conv() const { return false; }
+
+  // ------------------------------------------ compute-on-codes surface ---
+  //
+  // Quantized-weight GEMM: the weight operand arrives as stored code words
+  // (kernels/qweight.h) and the bias/ReLU epilogue is fused into the
+  // writeback. The default implementations are the pinned scalar oracle:
+  // decode every code with quant/quantizer.h's exact arithmetic into arena
+  // scratch, then run the reference float loops — bit-exact with
+  // dequantizing the weights and calling gemm()/gemm_bt() + bias + ReLU as
+  // separate passes, for every scheme. Backends override these to compute
+  // on the int8 levels directly (documented tolerance vs the oracle).
+
+  // y[rows, n] = decode(W)[rows, cols] x X[cols, n] (+ epilogue) — the conv
+  // lowering layout (X is a column matrix, y channel-major).
+  virtual void qgemm(const QWeightView& w, long n, const float* x, float* y,
+                     const QEpilogue& ep) const;
+
+  // y[m, rows] = X[m, cols] x decode(W)^T (+ epilogue) — the Linear layout
+  // (W stored [out, in] like nn/linear.h).
+  virtual void qgemm_bt(const QWeightView& w, long m, const float* x,
+                        float* y, const QEpilogue& ep) const;
+
+  // Quantized-weight convolution forward: x [N, in_c, H, W] against the
+  // weight code words, y [N, out_c, OH, OW], epilogue fused. The default
+  // (kernels/conv.cpp) lowers per image and calls qgemm — the oracle for
+  // every backend. Backends that quantize activations may override to fuse
+  // lowering with activation quantization so the float column matrix is
+  // never materialized; the override must produce exactly the bits qgemm on
+  // the lowered columns would (the blocked one does — same per-column
+  // scales, same integers).
+  virtual void qconv(const ConvShape& s, const float* x, const QWeightView& w,
+                     const QEpilogue& ep, float* y) const;
 };
 
 // ------------------------------------------------------------- registry ---

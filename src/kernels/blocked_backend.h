@@ -37,6 +37,28 @@ class BlockedBackend final : public Backend {
   // One im2col + one GEMM across the whole batch.
   bool coalesced_conv() const override { return true; }
 
+  // int8 compute-on-codes path (kernels/qgemm_blocked.cpp): activations are
+  // dynamically quantized to 8-bit symmetric per call, the GEMM accumulates
+  // in int32 over the stored levels (AVX512-VNNI micro-kernel when the
+  // build machine has it, an identical-integer scalar loop otherwise), and
+  // the decode scales + bias + ReLU are folded into the writeback. Falls
+  // back to the scalar oracle when the view has no int8 data (bits > 8).
+  // Integer accumulation is order-independent, so results are bit-identical
+  // across the ISA paths; vs the oracle the error is the activation
+  // quantization (~1e-2 relative, exact on integer grids — see tests).
+  void qgemm(const QWeightView& w, long n, const float* x, float* y,
+             const QEpilogue& ep) const override;
+  void qgemm_bt(const QWeightView& w, long m, const float* x, float* y,
+                const QEpilogue& ep) const override;
+  // Fused quantized conv: activation quantization + packing read straight
+  // from x (the im2col column matrix is never materialized in float), with
+  // the per-column absmax computed as a channel-max plane + kxk window max.
+  // Produces exactly the bits qgemm over the lowered columns would; the
+  // point is memory traffic — the float column matrix is k*k times the
+  // input and was read twice more on top of being written.
+  void qconv(const ConvShape& s, const float* x, const QWeightView& w,
+             const QEpilogue& ep, float* y) const override;
+
   // Micro-kernel tile sizes (compile-time, ISA-dependent); exposed so tests
   // can pick shapes that are deliberately not tile multiples.
   static long mr();

@@ -157,7 +157,47 @@ void backward_coalesced(const Backend& bk, const ConvShape& s,
   }
 }
 
+// Quantized-weight lowerings mirror the float ones above, with the bias /
+// ReLU epilogue fused into the qgemm writeback (so the coalesced transpose
+// below is a plain copy — the epilogue already ran per channel row, which
+// is elementwise-identical to folding it during the transpose).
+void forward_quant_pointwise(const Backend& bk, const ConvShape& s,
+                             const float* x, const QWeightView& w,
+                             const QEpilogue& ep, float* y) {
+  const long spatial = s.spatial();
+  for (long i = 0; i < s.n; ++i) {
+    bk.qgemm(w, spatial, x + i * s.in_c * spatial,
+             y + i * s.out_c * spatial, ep);
+  }
+}
+
 }  // namespace
+
+// Default quantized conv: per-image lowering + qgemm, the oracle every
+// backend's override must match (bit-exactly under the scalar-oracle qgemm,
+// up to activation quantization otherwise).
+void Backend::qconv(const ConvShape& s, const float* x, const QWeightView& w,
+                    const QEpilogue& ep, float* y) const {
+  const long k = s.cols_k(), spatial = s.spatial();
+  Arena& arena = tls_arena();
+  ArenaScope scope(arena);
+  float* col = arena.alloc(static_cast<std::size_t>(k * spatial));
+  for (long i = 0; i < s.n; ++i) {
+    im2col(x + i * s.in_c * s.h * s.w, s.in_c, s.h, s.w, s.kernel, s.kernel,
+           s.stride, s.pad, col);
+    qgemm(w, spatial, col, y + i * s.out_c * spatial, ep);
+  }
+}
+
+void conv2d_forward_quant(const Backend& bk, const ConvShape& s,
+                          const float* x, const QWeightView& w,
+                          const QEpilogue& ep, float* y) {
+  if (is_pointwise(s)) {
+    forward_quant_pointwise(bk, s, x, w, ep, y);
+  } else {
+    bk.qconv(s, x, w, ep, y);
+  }
+}
 
 void conv2d_forward(const Backend& bk, const ConvShape& s, const float* x,
                     const float* weight, const float* bias, float* y,

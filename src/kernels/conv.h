@@ -47,6 +47,17 @@ void conv2d_forward(const Backend& bk, const ConvShape& s, const float* x,
                     const float* weight, const float* bias, float* y,
                     Tensor* cols_cache);
 
+// Inference-only compute-on-codes forward: the same lowering strategies
+// (pointwise elision / per-image / coalesced), but the GEMM consumes the
+// stored weight code words through the backend's qgemm and the bias +
+// optional ReLU ride in the fused epilogue instead of separate passes.
+// w.rows must be out_c and w.cols must be cols_k(). Under the reference
+// backend (scalar oracle qgemm) the result is bit-identical to
+// conv2d_forward on the dequantized weights followed by ReLU.
+void conv2d_forward_quant(const Backend& bk, const ConvShape& s,
+                          const float* x, const QWeightView& w,
+                          const QEpilogue& ep, float* y);
+
 // Backward: cols is the cache written by forward (layout inferred from its
 // rank), grad_out [N, out_c, OH, OW]. Accumulates into grad_weight /
 // grad_bias (grad_bias may be null); writes grad_in [N, in_c, H, W], which

@@ -1,0 +1,84 @@
+// Default (reference-oracle) implementations of the compute-on-codes GEMM
+// surface. These decode the code words on the fly — with the exact
+// quant/quantizer.h arithmetic — into arena scratch and run the reference
+// float kernels, so the result is bit-identical to dequantizing the weights
+// and running the unfused gemm + bias + ReLU passes. That property is what
+// pins the int8 backends: any override must match this within its
+// documented tolerance.
+#include <cstddef>
+
+#include "kernels/arena.h"
+#include "kernels/backend.h"
+#include "tensor/ops.h"
+
+namespace ber::kernels {
+
+namespace {
+
+// Decodes the full weight matrix into arena scratch; byte-identical to
+// ber::dequantize on the same codes.
+const float* decode_weights(const QWeightView& w, Arena& arena) {
+  const std::size_t n = static_cast<std::size_t>(w.rows * w.cols);
+  float* wf = arena.alloc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wf[i] = decode_code(w.codes[i], w.scheme, w.range);
+  }
+  return wf;
+}
+
+// Epilogue over channel-major y [rows, n]: the bias loop is the exact loop
+// the conv lowering runs per output plane; ReLU clamps elementwise, so
+// per-row application matches a whole-tensor pass element for element.
+void epilogue_channel_major(float* y, long rows, long n, const QEpilogue& ep) {
+  if (ep.bias == nullptr && !ep.relu) return;
+  for (long c = 0; c < rows; ++c) {
+    float* row = y + c * n;
+    if (ep.bias) {
+      const float b = ep.bias[c];
+      for (long p = 0; p < n; ++p) row[p] += b;
+    }
+    if (ep.relu) {
+      for (long p = 0; p < n; ++p) {
+        if (!(row[p] > 0.0f)) row[p] = 0.0f;
+      }
+    }
+  }
+}
+
+// Epilogue over batch-major y [m, rows]: the Linear bias loop.
+void epilogue_batch_major(float* y, long m, long rows, const QEpilogue& ep) {
+  if (ep.bias == nullptr && !ep.relu) return;
+  for (long i = 0; i < m; ++i) {
+    float* row = y + i * rows;
+    if (ep.bias) {
+      for (long j = 0; j < rows; ++j) row[j] += ep.bias[j];
+    }
+    if (ep.relu) {
+      for (long j = 0; j < rows; ++j) {
+        if (!(row[j] > 0.0f)) row[j] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Backend::qgemm(const QWeightView& w, long n, const float* x, float* y,
+                    const QEpilogue& ep) const {
+  Arena& arena = tls_arena();
+  ArenaScope scope(arena);
+  const float* wf = decode_weights(w, arena);
+  ber::gemm(w.rows, n, w.cols, 1.0f, wf, x, 0.0f, y);
+  epilogue_channel_major(y, w.rows, n, ep);
+}
+
+void Backend::qgemm_bt(const QWeightView& w, long m, const float* x, float* y,
+                       const QEpilogue& ep) const {
+  Arena& arena = tls_arena();
+  ArenaScope scope(arena);
+  const float* wf = decode_weights(w, arena);
+  ber::gemm_bt(m, w.rows, w.cols, 1.0f, x, wf, 0.0f, y);
+  epilogue_batch_major(y, m, w.rows, ep);
+}
+
+}  // namespace ber::kernels

@@ -1,0 +1,58 @@
+// Quantized-weight views for the compute-on-codes GEMM surface.
+//
+// A QWeightView is how a layer hands its code-resident weight matrix to
+// Backend::qgemm / qgemm_bt without materializing floats. It carries two
+// redundant representations:
+//
+//   * codes + scheme + range — the stored words themselves. The reference
+//     oracle decodes each word with quant/quantizer.h's exact arithmetic,
+//     which makes it bit-exact with dequantize-then-float-reference for
+//     every scheme (rounding happened at encode time; decode is exact).
+//   * q + row_sums + slope/shift — the int8 fast-path data. q[i] is the
+//     code's integer level rebased so that ANY faulted pattern of <= 8 bits
+//     fits int8 (unsigned code schemes store q = code - 128; signed schemes
+//     the sign-extended level), and decoding is exactly affine:
+//     w = slope * q + shift. The blocked backend computes the GEMM in
+//     int32 over q and folds `slope` into one per-output multiplier; the
+//     `shift` contribution is sum_k shift * x[k], corrected via activation
+//     column sums. q is null when bits > 8 — callers fall back to the
+//     decode-on-the-fly oracle, so every scheme width works, just not fast.
+//
+// QEpilogue is the fused writeback: per-output-channel bias add and optional
+// ReLU applied while the accumulators are still hot, so a Linear/Conv layer
+// is one pass instead of GEMM + bias + activation.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/quantizer.h"
+
+namespace ber::kernels {
+
+struct QWeightView {
+  long rows = 0;  // output channels
+  long cols = 0;  // reduction length (in features / in_c * k * k)
+
+  // Stored code words, [rows, cols] row-major, plus their decode parameters.
+  const std::uint16_t* codes = nullptr;
+  QuantScheme scheme;
+  QuantRange range;
+
+  // int8 fast path (null when scheme.bits > 8): w = slope * q + shift.
+  const std::int8_t* q = nullptr;
+  const std::int32_t* row_sums = nullptr;  // sum_j q[i, j], length rows
+  float slope = 1.0f;
+  float shift = 0.0f;
+
+  bool has_int8() const { return q != nullptr; }
+};
+
+// Fused writeback: y = relu?(y + bias[row]) per output channel. The bias add
+// and the ReLU mirror the unfused layer loops element for element, so fusing
+// changes nothing numerically (pinned in tests/test_kernels.cpp).
+struct QEpilogue {
+  const float* bias = nullptr;  // length rows; null = no bias
+  bool relu = false;
+};
+
+}  // namespace ber::kernels

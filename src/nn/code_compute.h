@@ -1,0 +1,51 @@
+// Compute-on-codes capability for weight-bearing layers.
+//
+// Layers that can run their inference GEMM directly over stored weight code
+// words (Linear, Conv2d) implement this interface in addition to Layer.
+// Deployment machinery (quant/net_quantizer.h:deploy_snapshot, the serving
+// replicas) hands them the QuantizedTensor for their weight; the layer keeps
+// it in a QuantWeightStore and routes inference forwards through the
+// backend's fused qgemm surface. The float weight Param is kept as a
+// dequantized mirror the whole time, so weight-space consumers (profilers,
+// clipping stats, serialization) observe exactly the values the code path
+// computes with.
+//
+// Ownership notes:
+//   * adopt_weight_codes is only called on models that are NOT being
+//     trained (evaluation clones, serving replicas). A training-mode
+//     forward on a layer with active codes drops them — the optimizer has
+//     made the float params the source of truth again.
+//   * patch_weight_code is the delta-redeploy hook: O(1) per changed code
+//     word, updating code, int8 mirror and float mirror together.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/quantizer.h"
+#include "tensor/tensor.h"
+
+namespace ber {
+
+class CodeComputeLayer {
+ public:
+  virtual ~CodeComputeLayer() = default;
+
+  // Adopts code words for this layer's weight (size must match) and
+  // refreshes the float mirror. Enables forward_on_codes.
+  virtual void adopt_weight_codes(QuantizedTensor qt) = 0;
+
+  // Drops the code store; forwards go back to the float path.
+  virtual void release_weight_codes() = 0;
+
+  virtual bool code_compute_active() const = 0;
+
+  // Patches one weight code word and its mirrors in O(1).
+  virtual void patch_weight_code(std::size_t index, std::uint16_t code) = 0;
+
+  // Inference forward over the stored codes through the backend qgemm;
+  // fuse_relu additionally folds the ReLU that follows this layer into the
+  // kernel epilogue (the caller — Sequential — skips the ReLU layer).
+  virtual Tensor forward_on_codes(const Tensor& x, bool fuse_relu) = 0;
+};
+
+}  // namespace ber

@@ -33,6 +33,10 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   if (x.dim() != 4 || x.shape(1) != in_channels_) {
     throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
   }
+  if (wcodes_.has_value()) {
+    if (!training) return forward_on_codes(x, /*fuse_relu=*/false);
+    wcodes_.reset();  // optimizer steps make the float weights the truth
+  }
   const kernels::Backend& bk = kernels::current_backend();
   const kernels::ConvShape s{x.shape(0), in_channels_, x.shape(2), x.shape(3),
                              out_channels_, kernel_,   stride_,    pad_};
@@ -80,6 +84,42 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                            has_bias_ ? bias_.grad.data() : nullptr,
                            grad_in.data());
   return grad_in;
+}
+
+void Conv2d::adopt_weight_codes(QuantizedTensor qt) {
+  wcodes_.emplace(std::move(qt), out_channels_,
+                  in_channels_ * kernel_ * kernel_);
+  // Refresh the float mirror so weight-space observers agree with the codes.
+  dequantize(wcodes_->tensor(),
+             std::span<float>(weight_.value.data(),
+                              static_cast<std::size_t>(weight_.value.numel())));
+}
+
+void Conv2d::patch_weight_code(std::size_t index, std::uint16_t code) {
+  weight_.value.data()[index] = wcodes_->set_code(index, code);
+}
+
+Tensor Conv2d::forward_on_codes(const Tensor& x, bool fuse_relu) {
+  if (!wcodes_.has_value()) {
+    throw std::logic_error("Conv2d::forward_on_codes: no codes adopted");
+  }
+  // Sequential's fused-ReLU dispatch enters here directly, so the input
+  // check from forward() must be repeated before touching x's geometry.
+  if (x.dim() != 4 || x.shape(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
+  }
+  const kernels::Backend& bk = kernels::current_backend();
+  const kernels::ConvShape s{x.shape(0), in_channels_, x.shape(2), x.shape(3),
+                             out_channels_, kernel_,   stride_,    pad_};
+  Tensor out({s.n, out_channels_, s.oh(), s.ow()});
+  kernels::QEpilogue ep{has_bias_ ? bias_.value.data() : nullptr, fuse_relu};
+  kernels::conv2d_forward_quant(bk, s, x.data(), wcodes_->view(), ep,
+                                out.data());
+  if (input_.numel() != 0 || cols_.numel() != 0) {  // as the float path
+    input_ = Tensor();
+    cols_ = Tensor();
+  }
+  return out;
 }
 
 std::vector<Param*> Conv2d::params() {

@@ -3,11 +3,15 @@
 // (one column matrix + one GEMM for the whole batch) on the blocked one.
 #pragma once
 
+#include <optional>
+
+#include "nn/code_compute.h"
 #include "nn/layer.h"
+#include "quant/qweights.h"
 
 namespace ber {
 
-class Conv2d : public Layer {
+class Conv2d : public Layer, public CodeComputeLayer {
  public:
   // Square kernels only (all paper architectures use 3x3); zero padding.
   Conv2d(long in_channels, long out_channels, long kernel, long stride = 1,
@@ -20,6 +24,15 @@ class Conv2d : public Layer {
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Conv2d>(*this);
   }
+
+  // Compute-on-codes (nn/code_compute.h): inference forwards lower through
+  // kernels::conv2d_forward_quant with bias (and optionally the following
+  // ReLU) fused into the qgemm writeback.
+  void adopt_weight_codes(QuantizedTensor qt) override;
+  void release_weight_codes() override { wcodes_.reset(); }
+  bool code_compute_active() const override { return wcodes_.has_value(); }
+  void patch_weight_code(std::size_t index, std::uint16_t code) override;
+  Tensor forward_on_codes(const Tensor& x, bool fuse_relu) override;
 
   long in_channels() const { return in_channels_; }
   long out_channels() const { return out_channels_; }
@@ -44,6 +57,9 @@ class Conv2d : public Layer {
   // so forward and backward may legally run under different backends.
   Tensor input_;
   Tensor cols_;
+  // Weight code store when compute-on-codes is active (deep-copied by
+  // clone(), so replicas patch independent codes).
+  std::optional<QuantWeightStore> wcodes_;
 };
 
 }  // namespace ber

@@ -26,6 +26,10 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   if (x.dim() != 2 || x.shape(1) != in_features_) {
     throw std::invalid_argument("Linear: bad input " + x.shape_str());
   }
+  if (wcodes_.has_value()) {
+    if (!training) return forward_on_codes(x, /*fuse_relu=*/false);
+    wcodes_.reset();  // optimizer steps make the float weights the truth
+  }
   const long n = x.shape(0);
   Tensor out({n, out_features_});
   // out [n, out] = x [n, in] x W^T [in, out]; W stored [out, in].
@@ -63,6 +67,36 @@ Tensor Linear::backward(const Tensor& grad_out) {
   bk.gemm(n, in_features_, out_features_, 1.0f, grad_out.data(),
           weight_.value.data(), 0.0f, grad_in.data());
   return grad_in;
+}
+
+void Linear::adopt_weight_codes(QuantizedTensor qt) {
+  wcodes_.emplace(std::move(qt), out_features_, in_features_);
+  // Refresh the float mirror so weight-space observers agree with the codes.
+  dequantize(wcodes_->tensor(),
+             std::span<float>(weight_.value.data(),
+                              static_cast<std::size_t>(weight_.value.numel())));
+}
+
+void Linear::patch_weight_code(std::size_t index, std::uint16_t code) {
+  weight_.value.data()[index] = wcodes_->set_code(index, code);
+}
+
+Tensor Linear::forward_on_codes(const Tensor& x, bool fuse_relu) {
+  if (!wcodes_.has_value()) {
+    throw std::logic_error("Linear::forward_on_codes: no codes adopted");
+  }
+  // Sequential's fused-ReLU dispatch enters here directly, so the input
+  // check from forward() must be repeated: qgemm_bt trusts x's geometry.
+  if (x.dim() != 2 || x.shape(1) != in_features_) {
+    throw std::invalid_argument("Linear: bad input " + x.shape_str());
+  }
+  const long n = x.shape(0);
+  Tensor out({n, out_features_});
+  kernels::QEpilogue ep{has_bias_ ? bias_.value.data() : nullptr, fuse_relu};
+  kernels::current_backend().qgemm_bt(wcodes_->view(), n, x.data(),
+                                      out.data(), ep);
+  if (input_.numel() != 0) input_ = Tensor();  // as the float inference path
+  return out;
 }
 
 std::vector<Param*> Linear::params() {

@@ -6,13 +6,24 @@
 #include <stdexcept>
 
 #include "core/serialize.h"
+#include "kernels/arena.h"
 #include "kernels/backend.h"
+#include "nn/activation.h"
+#include "nn/code_compute.h"
 
 namespace ber {
 
 namespace {
+
 constexpr std::uint32_t kModelMagic = 0x4245524Du;  // "BERM"
 constexpr std::uint32_t kModelVersion = 1;
+
+// Exception-safe arena-tensor toggle for the inference region.
+struct ArenaTensorRegion {
+  ArenaTensorRegion() { set_arena_tensors_enabled(true); }
+  ~ArenaTensorRegion() { set_arena_tensors_enabled(false); }
+};
+
 }  // namespace
 
 Sequential::Sequential(const Sequential& other)
@@ -39,8 +50,49 @@ void Sequential::set_backend(const std::string& name) {
 Tensor Sequential::forward(const Tensor& x, bool training) {
   std::optional<kernels::ScopedBackend> guard;
   if (backend_ptr_) guard.emplace(*backend_ptr_);
+  if (!training && !arena_tensors_enabled()) {
+    // Outermost inference forward: run every intermediate activation (and
+    // the layers' im2col/GEMM scratch beneath them) out of the thread
+    // arena. Once the arena's capacity has converged, repeated forwards
+    // perform no heap allocation; only the network output is copied back
+    // to the heap. Nested containers (inner Sequentials, Residual bodies)
+    // see the toggle already on and just run their layer loop.
+    kernels::Arena& arena = kernels::tls_arena();
+    const std::size_t used_before = arena.used();
+    Tensor result;
+    {
+      kernels::ArenaScope scope(arena);
+      Tensor cur;
+      {
+        ArenaTensorRegion region;
+        cur = run_layers(x, false);
+        last_forward_arena_bytes_ =
+            (arena.used() - used_before) * sizeof(float);
+      }
+      result = cur;  // toggle is off again: deep copy to the heap
+    }
+    return result;
+  }
+  return run_layers(x, training);
+}
+
+Tensor Sequential::run_layers(const Tensor& x, bool training) {
   Tensor cur = x;
-  for (auto& l : layers_) cur = l->forward(cur, training);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Layer* l = layers_[i].get();
+    if (!training) {
+      auto* cc = dynamic_cast<CodeComputeLayer*>(l);
+      if (cc != nullptr && cc->code_compute_active()) {
+        const bool fuse_relu =
+            i + 1 < layers_.size() &&
+            dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr;
+        cur = cc->forward_on_codes(cur, fuse_relu);
+        if (fuse_relu) ++i;  // the epilogue already applied the ReLU
+        continue;
+      }
+    }
+    cur = l->forward(cur, training);
+  }
   return cur;
 }
 

@@ -50,6 +50,17 @@ class Sequential : public Layer {
   void set_backend(const std::string& name);
   const std::string& backend() const { return backend_; }
 
+  // Bytes of thread-local arena scratch (intermediate activations + im2col
+  // / GEMM packing) consumed by the most recent outermost inference
+  // forward on this model. Inference forwards bracket the layer loop in an
+  // arena-tensor region (tensor/tensor.h), so this is also the proof knob
+  // for "no heap allocation in steady-state eval": the arena converges to
+  // a fixed capacity and this value stays constant across calls (tested in
+  // tests/test_kernels.cpp).
+  std::size_t last_forward_arena_bytes() const {
+    return last_forward_arena_bytes_;
+  }
+
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
   const Layer& layer(std::size_t i) const { return *layers_[i]; }
@@ -76,11 +87,18 @@ class Sequential : public Layer {
  private:
   void read_params_and_buffers(BinaryReader& r);
 
+  // The layer loop. In inference mode, a layer with active weight codes
+  // (nn/code_compute.h) runs forward_on_codes; when the next layer is a
+  // ReLU, the activation is folded into the kernel epilogue and the ReLU
+  // layer is skipped (its last_active_fraction() is then not refreshed).
+  Tensor run_layers(const Tensor& x, bool training);
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::string backend_;
   // Resolved once in set_backend (registry backends live for the process),
   // so forward/backward skip the registry mutex + map lookup per call.
   const kernels::Backend* backend_ptr_ = nullptr;
+  std::size_t last_forward_arena_bytes_ = 0;
 };
 
 // y = body(x) + x. Shapes must match (same channels / spatial size).

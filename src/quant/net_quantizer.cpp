@@ -1,6 +1,11 @@
 #include "quant/net_quantizer.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+
+#include "nn/code_compute.h"
+#include "nn/sequential.h"
 
 namespace ber {
 
@@ -62,6 +67,67 @@ void NetQuantizer::write_dequantized(const NetSnapshot& snap,
                std::span<float>(params[i]->value.data(),
                                 static_cast<std::size_t>(params[i]->value.numel())));
   }
+}
+
+namespace {
+
+// Mirrors Sequential::params() exactly: iterate layers in order, recursing
+// into nested containers, and take each leaf's params() in order. Any
+// change to params() traversal must be reflected here — deploy_snapshot
+// pairs snapshot tensors with slots positionally.
+void collect_slots(Sequential& seq, std::vector<ParamSlot>& out) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    Layer& l = seq.layer(i);
+    if (auto* nested = dynamic_cast<Sequential*>(&l)) {
+      collect_slots(*nested, out);
+      continue;
+    }
+    if (auto* res = dynamic_cast<Residual*>(&l)) {
+      collect_slots(res->body(), out);
+      continue;
+    }
+    auto* cc = dynamic_cast<CodeComputeLayer*>(&l);
+    for (Param* p : l.params()) {
+      out.push_back(
+          {p, cc != nullptr && p->kind == ParamKind::kWeight ? cc : nullptr});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ParamSlot> param_slots(Sequential& model) {
+  std::vector<ParamSlot> slots;
+  collect_slots(model, slots);
+  return slots;
+}
+
+void deploy_snapshot(const NetSnapshot& snap,
+                     const std::vector<ParamSlot>& slots, bool on_codes) {
+  if (snap.tensors.size() != slots.size()) {
+    throw std::invalid_argument("deploy_snapshot: slot count mismatch");
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const QuantizedTensor& qt = snap.tensors[i];
+    const ParamSlot& slot = slots[i];
+    if (on_codes && slot.code_layer != nullptr) {
+      slot.code_layer->adopt_weight_codes(qt);  // also refreshes the mirror
+      continue;
+    }
+    if (slot.code_layer != nullptr) slot.code_layer->release_weight_codes();
+    dequantize(qt, std::span<float>(
+                       slot.param->value.data(),
+                       static_cast<std::size_t>(slot.param->value.numel())));
+  }
+}
+
+bool compute_on_codes_default() {
+  static const bool on = [] {
+    const char* v = std::getenv("BER_COMPUTE_ON_CODES");
+    return v != nullptr &&
+           (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0);
+  }();
+  return on;
 }
 
 void WeightStash::save(const std::vector<Param*>& params) {

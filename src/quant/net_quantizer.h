@@ -60,4 +60,46 @@ class WeightStash {
   std::vector<Tensor> saved_;
 };
 
+// ------------------------------------------------- snapshot deployment ---
+//
+// Deploying a (possibly faulted) snapshot into a model has two modes:
+//   weight-space — dequantize every tensor into the float params (the
+//     seed behaviour, write_dequantized);
+//   compute-on-codes — hand each weight tensor's code words to its layer
+//     (nn/code_compute.h) so inference runs the backend's quantized GEMM
+//     directly over them; the float params become a dequantized mirror.
+// ParamSlot pre-resolves, per snapshot tensor, the Param it deploys into
+// and (for weight tensors of code-capable layers) the CodeComputeLayer —
+// replicas cache the slot list so per-deploy work is O(#tensors), and
+// delta deploys can patch single code words through it.
+
+class Sequential;
+class CodeComputeLayer;
+
+struct ParamSlot {
+  Param* param = nullptr;
+  CodeComputeLayer* code_layer = nullptr;  // non-null only for weights of
+                                           // code-capable layers
+};
+
+// The model's parameters in Sequential::params() order (asserted by
+// construction: the walk recurses exactly like params() does), each paired
+// with its owning layer's code-compute interface where applicable.
+std::vector<ParamSlot> param_slots(Sequential& model);
+
+// Writes `snap` into the model through the slots. on_codes=false matches
+// write_dequantized and additionally DROPS any previously adopted codes —
+// otherwise a stale code store would keep overriding the freshly written
+// float weights at inference time. on_codes=true adopts weight codes into
+// code-capable layers (refreshing their float mirrors) and dequantizes the
+// rest (biases, norm params).
+void deploy_snapshot(const NetSnapshot& snap,
+                     const std::vector<ParamSlot>& slots, bool on_codes);
+
+// Process-wide default for compute-on-codes deployment, latched from the
+// BER_COMPUTE_ON_CODES environment variable ("1"/"true"; default off) on
+// first use. The evaluator and serving replicas consult this unless
+// explicitly configured.
+bool compute_on_codes_default();
+
 }  // namespace ber

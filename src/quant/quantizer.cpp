@@ -96,21 +96,29 @@ std::uint16_t encode_value(float w, const QuantScheme& scheme,
   return static_cast<std::uint16_t>(static_cast<std::uint32_t>(v) & mask);
 }
 
+long code_level(std::uint16_t code, const QuantScheme& scheme) {
+  if (scheme.unsigned_codes) {
+    return static_cast<long>(code) - max_level(scheme.bits);
+  }
+  // Sign-extend the m-bit two's complement code.
+  const std::uint32_t mask = (1u << scheme.bits) - 1u;
+  std::uint32_t u = code & mask;
+  const std::uint32_t sign_bit = 1u << (scheme.bits - 1);
+  return (u & sign_bit) ? static_cast<long>(u) - (1L << scheme.bits)
+                        : static_cast<long>(u);
+}
+
+DecodeAffine decode_affine(const QuantScheme& scheme, const QuantRange& range) {
+  const float delta = quant_delta(scheme, range);
+  if (!scheme.asymmetric) return {delta, 0.0f};
+  const float half_span = 0.5f * (range.qmax - range.qmin);
+  return {delta * half_span, half_span + range.qmin};
+}
+
 float decode_code(std::uint16_t code, const QuantScheme& scheme,
                   const QuantRange& range) {
-  const long ml = max_level(scheme.bits);
   const float delta = quant_delta(scheme, range);
-  long v;
-  if (scheme.unsigned_codes) {
-    v = static_cast<long>(code) - ml;
-  } else {
-    // Sign-extend the m-bit two's complement code.
-    const std::uint32_t mask = (1u << scheme.bits) - 1u;
-    std::uint32_t u = code & mask;
-    const std::uint32_t sign_bit = 1u << (scheme.bits - 1);
-    v = (u & sign_bit) ? static_cast<long>(u) - (1L << scheme.bits)
-                       : static_cast<long>(u);
-  }
+  const long v = code_level(code, scheme);
   return from_normalized(delta * static_cast<float>(v), scheme, range);
 }
 

@@ -98,6 +98,24 @@ float decode_code(std::uint16_t code, const QuantScheme& scheme,
 // Quantization step size Delta of Eq. (1) for the scheme/range.
 float quant_delta(const QuantScheme& scheme, const QuantRange& range);
 
+// The sign-extended (signed schemes) or offset-removed (unsigned schemes)
+// integer level v of a stored code word: decode_code(c) is from_normalized
+// applied to Delta * v. Exposed for the compute-on-codes kernels, which
+// carry levels instead of floats.
+long code_level(std::uint16_t code, const QuantScheme& scheme);
+
+// Decoding is affine in the level: decode_code(c) == slope * v + shift up to
+// float rounding (symmetric: slope = Delta, shift = 0; asymmetric: the
+// N-transform of Eq. (3) folds into slope = Delta * (qmax - qmin)/2 and
+// shift = (qmax + qmin)/2). The int8 GEMM path folds `slope` into one
+// per-output multiplier and corrects for `shift` with activation column
+// sums — see kernels/qweight.h.
+struct DecodeAffine {
+  float slope = 1.0f;
+  float shift = 0.0f;
+};
+DecodeAffine decode_affine(const QuantScheme& scheme, const QuantRange& range);
+
 // Change of the dequantized weight when bit `bit` of stored code `code` is
 // flipped: decode(code ^ (1 << bit)) - decode(code), in closed form. Decoding
 // is linear in the (sign-extended) level, so the magnitude is

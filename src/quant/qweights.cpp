@@ -1,0 +1,76 @@
+#include "quant/qweights.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ber {
+
+namespace {
+
+// The rebased int8 level for a stored code word (see header). Callers
+// guarantee bits <= 8.
+std::int8_t rebased_level(std::uint16_t code, const QuantScheme& scheme) {
+  if (scheme.unsigned_codes) {
+    const long half = 1L << (scheme.bits - 1);
+    return static_cast<std::int8_t>(static_cast<long>(code) - half);
+  }
+  return static_cast<std::int8_t>(code_level(code, scheme));
+}
+
+}  // namespace
+
+QuantWeightStore::QuantWeightStore(QuantizedTensor qt, long rows, long cols)
+    : qt_(std::move(qt)), rows_(rows), cols_(cols) {
+  if (static_cast<long>(qt_.codes.size()) != rows_ * cols_) {
+    throw std::invalid_argument(
+        "QuantWeightStore: " + std::to_string(qt_.codes.size()) +
+        " codes for a " + std::to_string(rows_) + "x" + std::to_string(cols_) +
+        " matrix");
+  }
+  const DecodeAffine aff = decode_affine(qt_.scheme, qt_.range);
+  slope_ = aff.slope;
+  shift_ = qt_.scheme.unsigned_codes ? aff.shift + aff.slope : aff.shift;
+  if (qt_.scheme.bits > 8) return;  // oracle fallback, no int8 mirror
+  q_.resize(qt_.codes.size());
+  row_sums_.assign(static_cast<std::size_t>(rows_), 0);
+  for (long i = 0; i < rows_; ++i) {
+    std::int32_t sum = 0;
+    for (long k = 0; k < cols_; ++k) {
+      const std::int8_t q =
+          rebased_level(qt_.codes[static_cast<std::size_t>(i * cols_ + k)],
+                        qt_.scheme);
+      q_[static_cast<std::size_t>(i * cols_ + k)] = q;
+      sum += q;
+    }
+    row_sums_[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+kernels::QWeightView QuantWeightStore::view() const {
+  kernels::QWeightView v;
+  v.rows = rows_;
+  v.cols = cols_;
+  v.codes = qt_.codes.data();
+  v.scheme = qt_.scheme;
+  v.range = qt_.range;
+  if (!q_.empty()) {
+    v.q = q_.data();
+    v.row_sums = row_sums_.data();
+  }
+  v.slope = slope_;
+  v.shift = shift_;
+  return v;
+}
+
+float QuantWeightStore::set_code(std::size_t index, std::uint16_t code) {
+  qt_.codes[index] = code;
+  if (!q_.empty()) {
+    const std::int8_t q = rebased_level(code, qt_.scheme);
+    row_sums_[index / static_cast<std::size_t>(cols_)] +=
+        static_cast<std::int32_t>(q) - static_cast<std::int32_t>(q_[index]);
+    q_[index] = q;
+  }
+  return decode_code(code, qt_.scheme, qt_.range);
+}
+
+}  // namespace ber

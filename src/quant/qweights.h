@@ -1,0 +1,59 @@
+// Code-resident weight storage for compute-on-codes inference.
+//
+// A QuantWeightStore owns one weight matrix as stored code words plus the
+// derived int8 mirror the blocked qgemm consumes (kernels/qweight.h): the
+// rebased levels q, their per-row sums, and the affine decode folded onto
+// the rebased levels. Both representations are kept consistent under O(1)
+// single-code patches, which is what makes delta fault redeploys
+// (serve/replica.h) O(#changed codes) instead of O(#weights).
+//
+// Rebasing: stored levels v (quant/quantizer.h:code_level) span
+// [-2^(m-1), 2^(m-1)] once faults are injected — unsigned codes reach
+// v = 2^m-1 - (2^(m-1)-1) = 2^(m-1), one past int8. The store therefore
+// keeps q = code - 2^(m-1) for unsigned schemes (so v = q + 1) and the
+// sign-extended v for signed schemes; both fit int8 exactly for m <= 8.
+// The +1 is folded into the view's shift term (shift' = shift + slope), so
+// decode(code) == slope * q + shift' for every possible faulted code word.
+//
+// For m > 8 the int8 mirror is absent and the view falls back to the
+// scalar decode oracle inside the backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/qweight.h"
+#include "quant/quantizer.h"
+
+namespace ber {
+
+class QuantWeightStore {
+ public:
+  // Adopts codes for a [rows, cols] weight matrix; qt.size() must be
+  // rows * cols. Builds the int8 mirror when the scheme has bits <= 8.
+  QuantWeightStore(QuantizedTensor qt, long rows, long cols);
+
+  long rows() const { return rows_; }
+  long cols() const { return cols_; }
+  const QuantizedTensor& tensor() const { return qt_; }
+  bool has_int8() const { return !q_.empty(); }
+
+  // The kernel-facing view. Valid until the store is mutated or destroyed.
+  kernels::QWeightView view() const;
+
+  // Patches one code word (e.g. one injected fault) in O(1), keeping the
+  // int8 mirror and row sums consistent. Returns the decoded float so the
+  // caller can refresh its dequantized mirror in the same step.
+  float set_code(std::size_t index, std::uint16_t code);
+
+ private:
+  QuantizedTensor qt_;
+  long rows_ = 0;
+  long cols_ = 0;
+  std::vector<std::int8_t> q_;          // rebased levels (empty if bits > 8)
+  std::vector<std::int32_t> row_sums_;  // per-row sums of q_
+  float slope_ = 1.0f;                  // decode slope on q
+  float shift_ = 0.0f;                  // decode shift incl. rebase fold
+};
+
+}  // namespace ber

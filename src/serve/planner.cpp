@@ -128,7 +128,7 @@ std::vector<Replica> OperatingPointPlanner::deploy_fleet(
     ChipFaultList faults =
         fault.fault_list(*base, static_cast<std::uint64_t>(r), p_bottom);
     fleet.emplace_back(r, model_, quantizer, base, std::move(faults),
-                       plan.voltages(), plan.rates(), plan.chosen);
+                       plan.voltages(), plan.rates(), plan.chosen, on_codes_);
   }
   return fleet;
 }
@@ -149,7 +149,7 @@ std::vector<Replica> OperatingPointPlanner::deploy_fleet_profiled(
     ChipFaultList faults =
         fault.fault_list(*base, static_cast<std::uint64_t>(r), v_bottom);
     fleet.emplace_back(r, model_, quantizer, base, std::move(faults),
-                       plan.voltages(), plan.rates(), plan.chosen);
+                       plan.voltages(), plan.rates(), plan.chosen, on_codes_);
   }
   return fleet;
 }

@@ -118,6 +118,15 @@ class OperatingPointPlanner {
   const RobustnessEvaluator& evaluator() const { return evaluator_; }
   const SramEnergyModel& energy() const { return energy_; }
 
+  // Compute-on-codes for both the planning sweeps and the deployed fleet
+  // (see RobustnessEvaluator::set_compute_on_codes / Replica). Defaults to
+  // the BER_COMPUTE_ON_CODES environment toggle.
+  void set_compute_on_codes(bool on) {
+    on_codes_ = on;
+    evaluator_.set_compute_on_codes(on);
+  }
+  bool compute_on_codes() const { return on_codes_; }
+
  private:
   std::vector<GridPoint> make_grid(const std::vector<double>& voltages,
                                    const std::vector<double>& rates,
@@ -127,6 +136,7 @@ class OperatingPointPlanner {
   QuantScheme scheme_;
   SramEnergyModel energy_;
   RobustnessEvaluator evaluator_;
+  bool on_codes_ = compute_on_codes_default();
 };
 
 }  // namespace ber

@@ -3,19 +3,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/code_compute.h"
+
 namespace ber {
 
 Replica::Replica(int id, const Sequential& model, const NetQuantizer& quantizer,
                  std::shared_ptr<const NetSnapshot> base, ChipFaultList faults,
                  std::vector<double> voltages, std::vector<double> rates,
-                 std::size_t deploy_index)
+                 std::size_t deploy_index, bool on_codes)
     : id_(id),
       model_(model),
       quantizer_(quantizer),
       base_(std::move(base)),
       faults_(std::move(faults)),
       voltages_(std::move(voltages)),
-      rates_(std::move(rates)) {
+      rates_(std::move(rates)),
+      on_codes_(on_codes) {
   if (!base_) throw std::invalid_argument("Replica: null base snapshot");
   if (voltages_.empty() || voltages_.size() != rates_.size()) {
     throw std::invalid_argument("Replica: voltage/rate grids must align");
@@ -30,6 +33,11 @@ Replica::Replica(int id, const Sequential& model, const NetQuantizer& quantizer,
     throw std::invalid_argument(
         "Replica: fault list does not cover the bottom of the voltage grid");
   }
+  slots_ = param_slots(model_);
+  if (slots_.size() != base_->tensors.size()) {
+    throw std::invalid_argument(
+        "Replica: base snapshot does not match the model's parameters");
+  }
   deploy(deploy_index);
 }
 
@@ -37,10 +45,49 @@ void Replica::deploy(std::size_t grid_index) {
   if (grid_index >= voltages_.size()) {
     throw std::out_of_range("Replica::deploy: grid index out of range");
   }
+  ++deploy_stats_.deploys;
+  if (!snap_valid_) {
+    deploy_full(grid_index);
+    return;
+  }
+  if (grid_index == index_) {
+    // Same grid point and the deployed snapshot is intact: fault
+    // persistence makes the redeploy a strict no-op.
+    ++deploy_stats_.noop_deploys;
+    return;
+  }
+  const double p_from = rates_[index_];
   index_ = grid_index;
-  NetSnapshot snap = *base_;
-  last_changed_ = faults_.apply(snap, rates_[index_]);
-  quantizer_.write_dequantized(snap, model_.params());
+  std::vector<ChipFaultList::ChangedCode> changed;
+  last_changed_ =
+      faults_.apply_delta(snap_, *base_, p_from, rates_[index_], &changed);
+  ++deploy_stats_.delta_deploys;
+  deploy_stats_.bytes_written += changed.size() * bytes_per_word();
+  for (const ChipFaultList::ChangedCode& c : changed) {
+    const QuantizedTensor& qt = snap_.tensors[c.tensor];
+    const std::uint16_t code = qt.codes[c.index];
+    const ParamSlot& slot = slots_[c.tensor];
+    if (on_codes_ && slot.code_layer != nullptr) {
+      slot.code_layer->patch_weight_code(c.index, code);
+    } else {
+      slot.param->value.data()[c.index] =
+          decode_code(code, qt.scheme, qt.range);
+    }
+  }
+}
+
+void Replica::deploy_full(std::size_t grid_index) {
+  if (grid_index >= voltages_.size()) {
+    throw std::out_of_range("Replica::deploy_full: grid index out of range");
+  }
+  index_ = grid_index;
+  snap_ = *base_;
+  last_changed_ = faults_.apply(snap_, rates_[index_]);
+  deploy_snapshot(snap_, slots_, on_codes_);
+  snap_valid_ = true;
+  deploy_stats_.bytes_written +=
+      static_cast<unsigned long long>(snap_.total_weights()) *
+      bytes_per_word();
 }
 
 bool Replica::step_up() {

@@ -44,6 +44,11 @@ ReplicaPool::ReplicaPool(std::vector<Replica> replicas,
   if (replicas_.empty()) {
     throw std::invalid_argument("ReplicaPool: need at least one replica");
   }
+  // Seed the deploy-counter snapshots with the constructor-time deploys
+  // before any worker (or stats reader) runs.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    worker_stats_[i].deploy = replicas_[i].deploy_stats();
+  }
   threads_.reserve(replicas_.size());
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     threads_.emplace_back([this, i] { worker(i); });
@@ -148,7 +153,13 @@ void ReplicaPool::worker(std::size_t i) {
       }
       batches_served = ws.batches;
     }
-    if (monitor_ && monitor_->due(batches_served)) monitor_->check(replica);
+    if (monitor_ && monitor_->due(batches_served)) {
+      monitor_->check(replica);
+      // A tripped check may have redeployed; refresh the counters the
+      // stats() reader sees (it must never touch the replica directly).
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      worker_stats_[i].deploy = replica.deploy_stats();
+    }
   }
 }
 
@@ -163,6 +174,10 @@ ServingStats ReplicaPool::stats() const {
     s.batches += ws.batches;
     s.per_replica_batches.push_back(ws.batches);
     s.per_replica_images.push_back(ws.images);
+    s.deploys += ws.deploy.deploys;
+    s.delta_deploys += ws.deploy.delta_deploys;
+    s.noop_deploys += ws.deploy.noop_deploys;
+    s.deploy_bytes += ws.deploy.bytes_written;
   }
   s.mean_batch_images =
       s.batches > 0 ? static_cast<double>(s.images) / s.batches : 0.0;

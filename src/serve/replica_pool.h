@@ -46,6 +46,15 @@ struct ServingStats {
   double p99_latency_us = 0.0;
   std::vector<long> per_replica_batches;
   std::vector<long> per_replica_images;
+  // Deployment telemetry aggregated over the fleet (Replica::DeployStats):
+  // how many deploys ran, how many were served by the delta / no-op fast
+  // paths, and the weight-memory bytes rewritten. With delta redeploys the
+  // bytes stay proportional to the fault-set difference instead of W per
+  // redeploy.
+  long deploys = 0;
+  long delta_deploys = 0;
+  long noop_deploys = 0;
+  unsigned long long deploy_bytes = 0;
 };
 
 class ReplicaPool {
@@ -88,6 +97,10 @@ class ReplicaPool {
     long batches = 0;
     long images = 0;
     long requests = 0;
+    // Snapshot of the replica's deploy counters, refreshed by its worker
+    // under stats_mu_ (replicas themselves are lock-free; stats() must not
+    // read them while a monitor-triggered redeploy runs on the worker).
+    Replica::DeployStats deploy;
   };
   std::vector<WorkerStats> worker_stats_;
   std::vector<double> latency_window_;  // ring buffer, kLatencyWindow cap

@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/rng.h"
+#include "kernels/arena.h"
 
 namespace ber {
 
 namespace {
+
 long shape_numel(const std::vector<long>& shape) {
   long n = 1;
   for (long s : shape) {
@@ -19,11 +22,74 @@ long shape_numel(const std::vector<long>& shape) {
   }
   return n;
 }
+
+thread_local bool g_arena_tensors = false;
+
 }  // namespace
 
-Tensor::Tensor(std::vector<long> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+bool arena_tensors_enabled() { return g_arena_tensors; }
+void set_arena_tensors_enabled(bool on) { g_arena_tensors = on; }
+
+Tensor::Tensor(std::vector<long> shape) : shape_(std::move(shape)) {
+  const long n = shape_numel(shape_);
+  if (g_arena_tensors && n > 0) {
+    ext_ = kernels::tls_arena().alloc(static_cast<std::size_t>(n));
+    ext_n_ = n;
+    std::memset(ext_, 0, sizeof(float) * static_cast<std::size_t>(n));
+  } else {
+    data_.assign(static_cast<std::size_t>(n), 0.0f);
+  }
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  const long n = other.numel();
+  if (g_arena_tensors && n > 0) {
+    ext_ = kernels::tls_arena().alloc(static_cast<std::size_t>(n));
+    ext_n_ = n;
+    std::memcpy(ext_, other.data(), sizeof(float) * static_cast<std::size_t>(n));
+  } else {
+    data_.assign(other.data(), other.data() + n);
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  const long n = other.numel();
+  if (g_arena_tensors && n > 0) {
+    ext_ = kernels::tls_arena().alloc(static_cast<std::size_t>(n));
+    ext_n_ = n;
+    std::memcpy(ext_, other.data(), sizeof(float) * static_cast<std::size_t>(n));
+    data_.clear();
+  } else {
+    data_.assign(other.data(), other.data() + n);
+    ext_ = nullptr;
+    ext_n_ = 0;
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      ext_(other.ext_),
+      ext_n_(other.ext_n_) {
+  other.shape_.clear();
+  other.ext_ = nullptr;
+  other.ext_n_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  ext_ = other.ext_;
+  ext_n_ = other.ext_n_;
+  other.shape_.clear();
+  other.ext_ = nullptr;
+  other.ext_n_ = 0;
+  return *this;
+}
 
 Tensor Tensor::zeros(std::vector<long> shape) { return Tensor(std::move(shape)); }
 
@@ -35,13 +101,17 @@ Tensor Tensor::full(std::vector<long> shape, float value) {
 
 Tensor Tensor::randn(std::vector<long> shape, Rng& rng, float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = rng.normal() * stddev;
+  float* d = t.data();
+  const long n = t.numel();
+  for (long i = 0; i < n; ++i) d[i] = rng.normal() * stddev;
   return t;
 }
 
 Tensor Tensor::uniform(std::vector<long> shape, Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  float* d = t.data();
+  const long n = t.numel();
+  for (long i = 0; i < n; ++i) d[i] = static_cast<float>(rng.uniform(lo, hi));
   return t;
 }
 
@@ -60,14 +130,14 @@ long Tensor::shape(int i) const {
   return shape_[static_cast<std::size_t>(i)];
 }
 
-float& Tensor::at(long i, long j) { return data_[i * shape_[1] + j]; }
-float Tensor::at(long i, long j) const { return data_[i * shape_[1] + j]; }
+float& Tensor::at(long i, long j) { return data()[i * shape_[1] + j]; }
+float Tensor::at(long i, long j) const { return data()[i * shape_[1] + j]; }
 
 float& Tensor::at(long n, long c, long h, long w) {
-  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  return data()[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 float Tensor::at(long n, long c, long h, long w) const {
-  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  return data()[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 Tensor Tensor::reshaped(std::vector<long> shape) const {
@@ -89,13 +159,12 @@ Tensor Tensor::reshaped(std::vector<long> shape) const {
     known *= shape[infer];
   }
   if (known != numel()) throw std::invalid_argument("reshaped: numel mismatch");
-  Tensor t;
+  Tensor t(*this);  // deep copy into the storage class of the call site
   t.shape_ = std::move(shape);
-  t.data_ = data_;
   return t;
 }
 
-void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::fill(float v) { std::fill(data(), data() + numel(), v); }
 
 void Tensor::axpy(float alpha, const Tensor& other) {
   if (other.numel() != numel()) throw std::invalid_argument("axpy: size mismatch");
@@ -106,32 +175,38 @@ void Tensor::axpy(float alpha, const Tensor& other) {
 }
 
 void Tensor::scale(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  float* d = data();
+  const long n = numel();
+  for (long i = 0; i < n; ++i) d[i] *= alpha;
 }
 
 void Tensor::clamp(float lo, float hi) {
-  for (auto& v : data_) v = std::min(hi, std::max(lo, v));
+  float* d = data();
+  const long n = numel();
+  for (long i = 0; i < n; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
 }
 
 float Tensor::min() const {
-  return data_.empty() ? 0.0f : *std::min_element(data_.begin(), data_.end());
+  return numel() == 0 ? 0.0f : *std::min_element(data(), data() + numel());
 }
 
 float Tensor::max() const {
-  return data_.empty() ? 0.0f : *std::max_element(data_.begin(), data_.end());
+  return numel() == 0 ? 0.0f : *std::max_element(data(), data() + numel());
 }
 
 float Tensor::abs_max() const {
   float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::abs(v));
+  const float* d = data();
+  const long n = numel();
+  for (long i = 0; i < n; ++i) m = std::max(m, std::abs(d[i]));
   return m;
 }
 
 double Tensor::sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0);
+  return std::accumulate(data(), data() + numel(), 0.0);
 }
 
-double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / numel(); }
+double Tensor::mean() const { return numel() == 0 ? 0.0 : sum() / numel(); }
 
 std::string Tensor::shape_str() const {
   std::ostringstream os;

@@ -14,10 +14,32 @@ namespace ber {
 
 class Rng;
 
+// Thread-local toggle for arena-backed tensors. While enabled, tensors
+// constructed (or copied) on this thread place their storage in the
+// thread's kernel scratch arena (kernels/arena.h) instead of the heap —
+// Sequential's outermost inference forward brackets the layer loop with
+// this so intermediate activations cost zero heap allocations in steady
+// state. Arena storage is only valid until the enclosing ArenaScope
+// unwinds; whoever opens the region must copy any tensor that outlives it
+// back to the heap with the toggle off (Sequential does this for the
+// network output). Tensors built while the toggle is off are ordinary
+// heap tensors regardless of where they are later moved or read.
+bool arena_tensors_enabled();
+void set_arena_tensors_enabled(bool on);
+
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(std::vector<long> shape);
+  // Value semantics over both storage classes: copies deep-copy into
+  // storage chosen by arena_tensors_enabled() at copy time (this is how a
+  // result escapes an arena region — toggle off, then copy); moves steal
+  // the source's storage as-is.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
 
   static Tensor zeros(std::vector<long> shape);
   static Tensor full(std::vector<long> shape, float value);
@@ -26,18 +48,22 @@ class Tensor {
   static Tensor uniform(std::vector<long> shape, Rng& rng, float lo, float hi);
   static Tensor from_data(std::vector<long> shape, std::vector<float> data);
 
-  long numel() const { return static_cast<long>(data_.size()); }
+  long numel() const { return ext_ ? ext_n_ : static_cast<long>(data_.size()); }
   int dim() const { return static_cast<int>(shape_.size()); }
   long shape(int i) const;
   const std::vector<long>& shape() const { return shape_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> span() { return {data_.data(), data_.size()}; }
-  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+  float* data() { return ext_ ? ext_ : data_.data(); }
+  const float* data() const { return ext_ ? ext_ : data_.data(); }
+  std::span<float> span() {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
+  std::span<const float> span() const {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
 
-  float& operator[](long i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](long i) const { return data_[static_cast<std::size_t>(i)]; }
+  float& operator[](long i) { return data()[i]; }
+  float operator[](long i) const { return data()[i]; }
 
   // Multi-dimensional access (debug-checked in tests via shape()).
   float& at(long i, long j);
@@ -69,6 +95,11 @@ class Tensor {
  private:
   std::vector<long> shape_;
   std::vector<float> data_;
+  // Arena-backed storage (exclusive with data_): a borrowed pointer into
+  // the thread's kernel arena, valid until the enclosing ArenaScope
+  // unwinds. Never freed here.
+  float* ext_ = nullptr;
+  long ext_n_ = 0;
 };
 
 }  // namespace ber

@@ -370,13 +370,18 @@ api::ModelEntry tiny_entry() {
   return e;
 }
 
-// The legacy hand-wired pipeline for the same recipe.
+// The legacy hand-wired pipeline for the same recipe. Training pins the
+// reference backend exactly like Runner::resolve does — otherwise a
+// BER_BACKEND override would train a (slightly) different model here than
+// the Runner evaluates, and the bit-exactness comparisons below would be
+// comparing two models instead of two pipelines.
 struct LegacyRun {
   LegacyRun() {
     const api::ModelEntry e = tiny_entry();
     train_set = make_synthetic(e.dataset.config, true);
     test_set = make_synthetic(e.dataset.config, false);
     model = build_model(e.model);
+    const kernels::ScopedBackend guard(kernels::backend("reference"));
     train(*model, train_set, test_set, e.train);
     scheme = e.quant;
   }
@@ -386,6 +391,10 @@ struct LegacyRun {
 };
 
 TEST(Runner, RateSweepBitExactVsLegacyPaths) {
+  // The spec pins its backend (default "reference") for the whole run, so
+  // the hand-wired legacy side must evaluate under that same backend — not
+  // the ambient BER_BACKEND — for bit-exactness to be well-defined.
+  const kernels::ScopedBackend guard(kernels::backend("reference"));
   const std::vector<double> grid{0.004, 0.02};
   LegacyRun legacy;
   const float legacy_clean =
@@ -423,6 +432,9 @@ TEST(Runner, RateSweepBitExactVsLegacyPaths) {
 }
 
 TEST(Runner, GenericGridMatchesLegacySinglePoints) {
+  // Evaluate the legacy side under the spec's pinned backend (see
+  // RateSweepBitExactVsLegacyPaths).
+  const kernels::ScopedBackend guard(kernels::backend("reference"));
   LegacyRun legacy;
   // ECC persistent sweep over p through the generic grid.
   const std::vector<double> ps{0.002, 0.01};

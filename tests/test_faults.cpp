@@ -19,6 +19,7 @@
 #include "faults/random_bit_error_model.h"
 #include "models/factory.h"
 #include "nn/init.h"
+#include "quant/net_quantizer.h"
 
 namespace ber {
 namespace {
@@ -297,6 +298,9 @@ RobustResult legacy_summarize(std::vector<float> errs,
 }
 
 // The legacy robust_error pipeline (fresh clone per chip, scalar injection).
+// Code-space legacy loops deploy through the same weight-space/on-codes
+// switch the evaluator uses so the regression stays a pipeline-identity
+// check under BER_COMPUTE_ON_CODES=1 too.
 RobustResult legacy_robust_error(Sequential& model, const QuantScheme& scheme,
                                  const Dataset& data,
                                  const BitErrorConfig& config, int n_chips,
@@ -309,7 +313,7 @@ RobustResult legacy_robust_error(Sequential& model, const QuantScheme& scheme,
     NetSnapshot snap = base;
     inject_random_bit_errors_scalar(snap, config,
                                     seed_base + static_cast<std::uint64_t>(c));
-    quantizer.write_dequantized(snap, clone.params());
+    deploy_snapshot(snap, param_slots(clone), compute_on_codes_default());
     const EvalResult r = evaluate(clone, data);
     errs.push_back(r.error);
     confs.push_back(r.confidence);
@@ -332,7 +336,7 @@ RobustResult legacy_robust_error_profiled(Sequential& model,
         (static_cast<std::uint64_t>(i) * 7919ULL * 64ULL) %
         static_cast<std::uint64_t>(chip.num_cells());
     chip.apply(snap, v, offset);
-    quantizer.write_dequantized(snap, clone.params());
+    deploy_snapshot(snap, param_slots(clone), compute_on_codes_default());
     const EvalResult r = evaluate(clone, data);
     errs.push_back(r.error);
     confs.push_back(r.confidence);
@@ -430,7 +434,7 @@ RobustResult legacy_rerr_with_secded(Sequential& model,
       }
     }
     Sequential clone(model);
-    quantizer.write_dequantized(snap, clone.params());
+    deploy_snapshot(snap, param_slots(clone), compute_on_codes_default());
     const EvalResult r = evaluate(clone, data);
     errs.push_back(r.error);
     confs.push_back(r.confidence);
