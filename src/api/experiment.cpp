@@ -16,6 +16,8 @@
 #include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
 #include "kernels/backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/replica_pool.h"
 #include "tensor/ops.h"
@@ -98,6 +100,7 @@ Json Report::to_json() const {
       sj.set("traffic", std::move(t));
     }
     j.set("serve", std::move(sj));
+    if (!metrics.is_null()) j.set("metrics", metrics);
     return j;
   }
   Json ms = Json::array();
@@ -115,6 +118,7 @@ Json Report::to_json() const {
     ms.push_back(std::move(mj));
   }
   j.set("models", std::move(ms));
+  if (!metrics.is_null()) j.set("metrics", metrics);
   return j;
 }
 
@@ -149,6 +153,7 @@ int Runner::n_trials() const {
 }
 
 Runner::ResolvedModel Runner::resolve(const ModelEntry& entry) {
+  BER_TRACE_SCOPE("runner", "resolve");
   ResolvedModel rm;
   if (entry.is_zoo()) {
     const zoo::Spec& zs = zoo::spec(entry.zoo);
@@ -190,6 +195,7 @@ Runner::ResolvedModel Runner::resolve(const ModelEntry& entry) {
       // Training pins the reference backend (like the zoo) so a cached
       // artifact never depends on which backend the surrounding run uses.
       const kernels::ScopedBackend guard(kernels::backend("reference"));
+      BER_TRACE_SCOPE("runner", "train");
       train(*model, train_data, test_data, tc);
       if (!ckpt.empty()) {
         ensure_dir(artifacts_dir());
@@ -224,6 +230,7 @@ Report Runner::run_robustness() {
   const int n = n_trials();
   for (const ModelEntry& entry : spec_.models) {
     ResolvedModel rm = resolve(entry);
+    BER_TRACE_SCOPE("runner", "robustness");
     ModelReport mr;
     mr.name = rm.name;
     mr.label = rm.label;
@@ -304,6 +311,9 @@ Report Runner::run_serve() {
   report.spec = spec_;
   ServeReport& s = report.serve;
   const ServeSection& sv = spec_.serve;
+  // Registered up front so the key exists (at zero) in every serve
+  // snapshot — CI gates on it without a presence check.
+  obs::Counter& shed = obs::registry().counter("serve.requests_shed");
   ResolvedModel rm = resolve(spec_.models.front());
 
   s.clean_err = test_error(*rm.model, *rm.test_set, &rm.scheme, spec_.eval.batch);
@@ -323,13 +333,21 @@ Report Runner::run_serve() {
 
   std::vector<Replica> fleet;
   if (const auto* random = dynamic_cast<const RandomBitErrorModel*>(fault.get())) {
-    s.plan = planner.plan(*random, *rm.eval_set, sv.voltages, s.slo, sv.n_chips,
-                          spec_.eval.batch);
+    {
+      BER_TRACE_SCOPE("runner", "plan");
+      s.plan = planner.plan(*random, *rm.eval_set, sv.voltages, s.slo,
+                            sv.n_chips, spec_.eval.batch);
+    }
+    BER_TRACE_SCOPE("runner", "deploy_fleet");
     fleet = planner.deploy_fleet(*random, s.plan, sv.replicas);
   } else {
     const auto& profiled = dynamic_cast<const ProfiledChipModel&>(*fault);
-    s.plan = planner.plan_profiled(profiled, *rm.eval_set, sv.voltages, s.slo,
-                                   sv.n_chips, spec_.eval.batch);
+    {
+      BER_TRACE_SCOPE("runner", "plan");
+      s.plan = planner.plan_profiled(profiled, *rm.eval_set, sv.voltages,
+                                     s.slo, sv.n_chips, spec_.eval.batch);
+    }
+    BER_TRACE_SCOPE("runner", "deploy_fleet");
     fleet = planner.deploy_fleet_profiled(profiled, s.plan, sv.replicas);
   }
 
@@ -346,36 +364,46 @@ Report Runner::run_serve() {
     // would) and counts a request as rejected only once the retry budget is
     // spent. Accepted requests must all answer (the no-loss contract).
     ReplicaPool pool(std::move(fleet), sv.queue);
-    Tensor image;
-    std::vector<int> labels;
-    std::vector<std::future<std::vector<Prediction>>> futures;
-    futures.reserve(static_cast<std::size_t>(sv.requests));
-    for (long i = 0; i < sv.requests; ++i) {
-      const long j = i % rm.test_set->size();
-      rm.test_set->batch(j, j + 1, image, labels);
-      Tensor single = image.reshaped(
-          {image.shape(1), image.shape(2), image.shape(3)});
-      for (int attempt = 0;; ++attempt) {
-        try {
-          // Copy per attempt: a rejected submit consumes its argument.
-          futures.push_back(pool.submit(single));
-          break;
-        } catch (const QueueFullError&) {
-          if (attempt >= 20) {
-            ++s.rejected;
+    {
+      BER_TRACE_SCOPE_ARGS("runner", "traffic", {"requests", sv.requests});
+      Tensor image;
+      std::vector<int> labels;
+      std::vector<std::future<std::vector<Prediction>>> futures;
+      futures.reserve(static_cast<std::size_t>(sv.requests));
+      for (long i = 0; i < sv.requests; ++i) {
+        const long j = i % rm.test_set->size();
+        rm.test_set->batch(j, j + 1, image, labels);
+        Tensor single = image.reshaped(
+            {image.shape(1), image.shape(2), image.shape(3)});
+        for (int attempt = 0;; ++attempt) {
+          try {
+            // Copy per attempt: a rejected submit consumes its argument.
+            futures.push_back(pool.submit(single));
             break;
+          } catch (const QueueFullError&) {
+            // Budget ~100ms: several batch service times, so a shed means
+            // the pool is genuinely stalled, not mid-drain.
+            if (attempt >= 200) {
+              // Shed = dropped after the whole retry budget, not a transient
+              // queue-full (those are serve.queue_rejections).
+              ++s.rejected;
+              shed.add(1);
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
           }
-          std::this_thread::sleep_for(std::chrono::microseconds(500));
         }
       }
+      for (auto& f : futures) s.answered += static_cast<long>(f.get().size());
+      pool.drain();
     }
-    for (auto& f : futures) s.answered += static_cast<long>(f.get().size());
-    pool.drain();
     s.mean_batch = pool.stats().mean_batch_images;
+    BER_TRACE_SCOPE("runner", "canary");
     for (std::size_t i = 0; i < pool.size(); ++i) {
       s.canary_errs.push_back(pool.replica(i).canary(canary_set).error);
     }
   } else {
+    BER_TRACE_SCOPE("runner", "canary");
     for (Replica& r : fleet) {
       s.canary_errs.push_back(r.canary(canary_set).error);
     }
@@ -385,7 +413,10 @@ Report Runner::run_serve() {
 
 Report Runner::run() {
   const kernels::ScopedBackend guard(kernels::backend(spec_.backend));
-  return spec_.kind == "serve" ? run_serve() : run_robustness();
+  BER_TRACE_SCOPE_ARGS("runner", "run", {"kind", spec_.kind.c_str()});
+  Report report = spec_.kind == "serve" ? run_serve() : run_robustness();
+  report.metrics = obs::registry().to_json();
+  return report;
 }
 
 // -------------------------------------------------------------- Experiment --

@@ -61,6 +61,10 @@ struct Report {
   ExperimentSpec spec;
   std::vector<ModelReport> models;  // robustness kind
   ServeReport serve;                // serve kind
+  // Snapshot of the obs metrics registry taken when the run finished
+  // (cumulative for the process — a second run's snapshot includes the
+  // first's counts). Null if the Report was built by hand.
+  Json metrics;
   Json to_json() const;
 };
 

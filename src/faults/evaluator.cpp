@@ -9,6 +9,8 @@
 #include "kernels/backend.h"
 #include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ber {
 
@@ -61,6 +63,25 @@ void run_trials(Sequential& model, int n_trials, bool need_pristine,
   });
 }
 
+// Injection-campaign telemetry. The per-fault-word hot loops inside
+// ChipFaultList stay uninstrumented (bench_injection measures them raw);
+// everything here is per-trial / per-sweep-point granularity.
+struct EvalMetrics {
+  obs::Counter& trials = obs::registry().counter("faults.trials");
+  obs::Counter& fault_lists =
+      obs::registry().counter("faults.fault_lists_built");
+  obs::Counter& words_patched =
+      obs::registry().counter("faults.words_patched");
+  obs::Histogram& trial_us = obs::registry().histogram("faults.trial_us");
+  obs::Histogram& sweep_point_us =
+      obs::registry().histogram("faults.sweep_point_us");
+};
+
+EvalMetrics& eval_metrics() {
+  static EvalMetrics m;
+  return m;
+}
+
 }  // namespace
 
 RobustnessEvaluator::RobustnessEvaluator(Sequential& model,
@@ -88,6 +109,10 @@ RobustResult RobustnessEvaluator::run(const FaultModel& fault,
   run_trials(model_, n_trials, /*need_pristine=*/!quantizer_,
              [&](Sequential& clone, const WeightStash& pristine,
                  std::int64_t trial) {
+               BER_TRACE_SCOPE_ARGS("faults", "trial", {"trial", trial});
+               EvalMetrics& em = eval_metrics();
+               em.trials.add(1);
+               const obs::ScopedTimerUs timer(em.trial_us);
                const auto params = clone.params();
                if (quantizer_) {
                  if (weight_space) {
@@ -124,15 +149,21 @@ std::vector<RobustResult> RobustnessEvaluator::run_grid_sweep(
   }
   run_trials(model_, n_trials, /*need_pristine=*/false,
              [&](Sequential& clone, const WeightStash&, std::int64_t trial) {
+               BER_TRACE_SCOPE_ARGS("faults", "chip_trial", {"trial", trial});
+               EvalMetrics& em = eval_metrics();
+               em.trials.add(1);
                // One fault-list build per trial covers the whole grid; each
                // point keeps the subset of faults with u below its rate
                // (persistence).
                const ChipFaultList faults =
                    build_list(static_cast<std::uint64_t>(trial));
+               em.fault_lists.add(1);
                const std::vector<ParamSlot> slots = param_slots(clone);
                for (std::size_t r = 0; r < n_points; ++r) {
+                 BER_TRACE_SCOPE_ARGS("faults", "sweep_point", {"point", r});
+                 const obs::ScopedTimerUs timer(em.sweep_point_us);
                  NetSnapshot snap = base_snap_;
-                 faults.apply(snap, rate_of(r));
+                 em.words_patched.add(faults.apply(snap, rate_of(r)));
                  deploy_snapshot(snap, slots, on_codes_);
                  const EvalResult res = evaluate(clone, data, batch);
                  errs[r][static_cast<std::size_t>(trial)] = res.error;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/kernel_stats.h"
+
 namespace ber::kernels {
 
 float* Arena::alloc(std::size_t n) {
@@ -18,6 +20,9 @@ float* Arena::alloc(std::size_t n) {
   c.buf.resize(std::max(n, 2 * capacity()));
   c.used = n;
   chunks_.push_back(std::move(c));
+  // Growth is rare (capacity converges), so the high-water gauge update
+  // stays off the steady-state alloc path.
+  obs::note_arena_capacity(capacity() * sizeof(float));
   return chunks_.back().buf.data();
 }
 

@@ -9,8 +9,18 @@
 
 #include "kernels/blocked_backend.h"
 #include "kernels/reference_backend.h"
+#include "obs/kernel_stats.h"
 
 namespace ber::kernels {
+
+obs::KernelStats& Backend::kstats() const {
+  obs::KernelStats* s = kstats_.load(std::memory_order_acquire);
+  if (s == nullptr) {
+    s = &obs::kernel_stats(name());
+    kstats_.store(s, std::memory_order_release);
+  }
+  return *s;
+}
 
 namespace {
 

@@ -20,11 +20,16 @@
 //      installs a scoped override for that model's forward/backward.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "kernels/qweight.h"
+
+namespace ber::obs {
+struct KernelStats;
+}
 
 namespace ber::kernels {
 
@@ -35,6 +40,11 @@ class Backend {
   virtual ~Backend() = default;
 
   virtual std::string name() const = 0;
+
+  // This backend's profiling counters (obs/kernel_stats.h), labeled
+  // {backend=name()}. Resolved lazily on first use and cached, so the GEMM
+  // hot paths pay relaxed fetch_adds only — no lookup, no lock.
+  obs::KernelStats& kstats() const;
 
   // C[m,n] = alpha * A[m,k] x B[k,n] + beta * C. Row-major, like
   // ber::gemm in tensor/ops.h.
@@ -84,6 +94,12 @@ class Backend {
   // scales, same integers).
   virtual void qconv(const ConvShape& s, const float* x, const QWeightView& w,
                      const QEpilogue& ep, float* y) const;
+
+ private:
+  // Cached kstats() resolution; the store is idempotent (kernel_stats
+  // returns a process-stable reference), so a benign race just looks it up
+  // twice.
+  mutable std::atomic<obs::KernelStats*> kstats_{nullptr};
 };
 
 // ------------------------------------------------------------- registry ---

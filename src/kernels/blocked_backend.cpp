@@ -5,10 +5,13 @@
 #include "kernels/blocked_backend.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "core/parallel.h"
 #include "kernels/arena.h"
+#include "obs/kernel_stats.h"
+#include "obs/metrics.h"
 
 namespace ber::kernels {
 
@@ -99,13 +102,17 @@ void micro_kernel(long kc, const float* __restrict ap,
 // arena; shards own disjoint C rows, so no synchronization.
 void gemm_rows(long m0, long m1, long kc, const float* a, long a_is,
                long a_ps, const float* bpack, float* c, long ldc, long jc,
-               long nc, float alpha) {
+               long nc, float alpha, std::atomic<std::uint64_t>* pack_ns) {
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   float* apack = arena.alloc(static_cast<std::size_t>(kMC * kKC));
   for (long ic = m0; ic < m1; ic += kMC) {
     const long mc = std::min(kMC, m1 - ic);
+    // Pack-time attribution: two clock reads per [MC x KC] block, far off
+    // the micro-kernel's inner loops.
+    const std::uint64_t t0 = obs::monotonic_ns();
     pack_a(a + ic * a_is, a_is, a_ps, mc, kc, apack);
+    pack_ns->fetch_add(obs::monotonic_ns() - t0, std::memory_order_relaxed);
     for (long jr = 0; jr < nc; jr += kNR) {
       const long nr = std::min(kNR, nc - jr);
       const float* bp = bpack + (jr / kNR) * (kc * kNR);
@@ -134,6 +141,13 @@ void BlockedBackend::run(long m, long n, long k, float alpha, const float* a,
   }
   if (m <= 0 || n <= 0 || k <= 0 || alpha == 0.0f) return;
 
+  obs::KernelStats& kstats = this->kstats();
+  kstats.gemm_calls->add(1);
+  kstats.gemm_flops->add(2ull * static_cast<unsigned long long>(m) *
+                         static_cast<unsigned long long>(n) *
+                         static_cast<unsigned long long>(k));
+  std::atomic<std::uint64_t> pack_ns{0};
+
   // Sharding geometry. Inside an evaluator/serving worker (coarse-grained
   // parallelism already saturates the cores) auto mode stays serial instead
   // of oversubscribing T^2; an explicit thread count is always honored.
@@ -161,20 +175,24 @@ void BlockedBackend::run(long m, long n, long k, float alpha, const float* a,
       const long kc = std::min(kKC, k - pc);
       // B is packed ONCE per (jc, pc) panel, on the caller; row shards only
       // read it (arena chunks never move, so the pointer stays valid).
+      const std::uint64_t t0 = obs::monotonic_ns();
       pack_b(b + pc * b_ps + jc * b_js, b_ps, b_js, kc, nc, bpack);
+      pack_ns.fetch_add(obs::monotonic_ns() - t0, std::memory_order_relaxed);
       const float* a_panel = a + pc * a_ps;
       if (threaded) {
         parallel_for(shards, threads, [&](std::int64_t s) {
           const long lo = s * step;
           const long hi = std::min(m, lo + step);
           gemm_rows(lo, hi, kc, a_panel, a_is, a_ps, bpack, c, n, jc, nc,
-                    alpha);
+                    alpha, &pack_ns);
         });
       } else {
-        gemm_rows(0, m, kc, a_panel, a_is, a_ps, bpack, c, n, jc, nc, alpha);
+        gemm_rows(0, m, kc, a_panel, a_is, a_ps, bpack, c, n, jc, nc, alpha,
+                  &pack_ns);
       }
     }
   }
+  kstats.pack_ns->add(pack_ns.load(std::memory_order_relaxed));
 }
 
 void BlockedBackend::gemm(long m, long n, long k, float alpha, const float* a,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "kernels/arena.h"
+#include "obs/kernel_stats.h"
 #include "tensor/ops.h"
 
 namespace ber::kernels {
@@ -44,6 +45,8 @@ void forward_per_image(const Backend& bk, const ConvShape& s, const float* x,
                        const float* weight, const float* bias, float* y,
                        Tensor* cache) {
   const long k = s.cols_k(), spatial = s.spatial();
+  bk.kstats().im2col_bytes->add(static_cast<unsigned long long>(s.n) * k *
+                                spatial * sizeof(float));
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   float* scratch = cache ? nullptr
@@ -72,6 +75,8 @@ void forward_coalesced(const Backend& bk, const ConvShape& s, const float* x,
                        Tensor* cache) {
   const long k = s.cols_k(), spatial = s.spatial();
   const long ld = s.n * spatial;
+  bk.kstats().im2col_bytes->add(static_cast<unsigned long long>(k) * ld *
+                                sizeof(float));
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   float* cols =
@@ -179,6 +184,8 @@ void forward_quant_pointwise(const Backend& bk, const ConvShape& s,
 void Backend::qconv(const ConvShape& s, const float* x, const QWeightView& w,
                     const QEpilogue& ep, float* y) const {
   const long k = s.cols_k(), spatial = s.spatial();
+  kstats().im2col_bytes->add(static_cast<unsigned long long>(s.n) * k *
+                             spatial * sizeof(float));
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   float* col = arena.alloc(static_cast<std::size_t>(k * spatial));
@@ -192,6 +199,9 @@ void Backend::qconv(const ConvShape& s, const float* x, const QWeightView& w,
 void conv2d_forward_quant(const Backend& bk, const ConvShape& s,
                           const float* x, const QWeightView& w,
                           const QEpilogue& ep, float* y) {
+  obs::KernelStats& ks = bk.kstats();
+  ks.qconv_calls->add(1);
+  ks.qconv_images->add(static_cast<unsigned long long>(s.n));
   if (is_pointwise(s)) {
     forward_quant_pointwise(bk, s, x, w, ep, y);
   } else {
@@ -202,6 +212,9 @@ void conv2d_forward_quant(const Backend& bk, const ConvShape& s,
 void conv2d_forward(const Backend& bk, const ConvShape& s, const float* x,
                     const float* weight, const float* bias, float* y,
                     Tensor* cols_cache) {
+  obs::KernelStats& ks = bk.kstats();
+  ks.conv_calls->add(1);
+  ks.conv_images->add(static_cast<unsigned long long>(s.n));
   if (cols_cache == nullptr && is_pointwise(s)) {
     // Inference-mode 1x1 conv: plain GEMM on the input, no im2col (and, for
     // coalesced backends, no channel-major writeback transpose either).

@@ -9,11 +9,21 @@
 
 #include "kernels/arena.h"
 #include "kernels/backend.h"
+#include "obs/kernel_stats.h"
 #include "tensor/ops.h"
 
 namespace ber::kernels {
 
 namespace {
+
+// Tallies only — never touches the math, so the oracle stays bit-exact.
+inline void count_qgemm(const Backend& bk, long rows, long cols, long n) {
+  obs::KernelStats& ks = bk.kstats();
+  ks.qgemm_calls->add(1);
+  ks.qgemm_flops->add(2ull * static_cast<unsigned long long>(rows) *
+                      static_cast<unsigned long long>(cols) *
+                      static_cast<unsigned long long>(n));
+}
 
 // Decodes the full weight matrix into arena scratch; byte-identical to
 // ber::dequantize on the same codes.
@@ -65,6 +75,7 @@ void epilogue_batch_major(float* y, long m, long rows, const QEpilogue& ep) {
 
 void Backend::qgemm(const QWeightView& w, long n, const float* x, float* y,
                     const QEpilogue& ep) const {
+  count_qgemm(*this, w.rows, w.cols, n);
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   const float* wf = decode_weights(w, arena);
@@ -74,6 +85,7 @@ void Backend::qgemm(const QWeightView& w, long n, const float* x, float* y,
 
 void Backend::qgemm_bt(const QWeightView& w, long m, const float* x, float* y,
                        const QEpilogue& ep) const {
+  count_qgemm(*this, w.rows, w.cols, m);
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   const float* wf = decode_weights(w, arena);

@@ -37,6 +37,7 @@
 #include "kernels/arena.h"
 #include "kernels/blocked_backend.h"
 #include "kernels/conv.h"
+#include "obs/kernel_stats.h"
 
 #if defined(__AVX512F__) && defined(__AVX512VNNI__)
 #include <immintrin.h>
@@ -49,6 +50,16 @@ namespace {
 
 constexpr long kQMR = 4;   // W rows per register tile
 constexpr long kQNR = 64;  // activation columns per tile (4 zmm of int32)
+
+// Tallies for the non-fallback paths only; the scalar-oracle fallbacks count
+// inside Backend::qgemm/qgemm_bt.
+inline void count_qgemm(const Backend& bk, const QWeightView& w, long n) {
+  obs::KernelStats& ks = bk.kstats();
+  ks.qgemm_calls->add(1);
+  ks.qgemm_flops->add(2ull * static_cast<unsigned long long>(w.rows) *
+                      static_cast<unsigned long long>(w.cols) *
+                      static_cast<unsigned long long>(n));
+}
 
 #if defined(BER_QGEMM_VNNI)
 float absmax(const float* x, long n) {
@@ -503,6 +514,7 @@ void BlockedBackend::qgemm(const QWeightView& w, long n, const float* x,
     Backend::qgemm(w, n, x, y, ep);  // scalar oracle (bits > 8 / degenerate)
     return;
   }
+  count_qgemm(*this, w, n);
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   qgemm_core(w, n, x, /*xs_k=*/n, /*xs_j=*/1, y, ep, arena);
@@ -514,6 +526,7 @@ void BlockedBackend::qgemm_bt(const QWeightView& w, long m, const float* x,
     Backend::qgemm_bt(w, m, x, y, ep);
     return;
   }
+  count_qgemm(*this, w, m);
   Arena& arena = tls_arena();
   ArenaScope scope(arena);
   // Run the channel-major core on X^T (a stride choice, not a copy), then

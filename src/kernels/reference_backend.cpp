@@ -1,24 +1,42 @@
 #include "kernels/reference_backend.h"
 
+#include "obs/kernel_stats.h"
 #include "tensor/ops.h"
 
 namespace ber::kernels {
 
+namespace {
+
+// Profiling tallies only — counters never touch the math, so the reference
+// results stay bit-exact with the seed implementation.
+inline void count_gemm(const Backend& bk, long m, long n, long k) {
+  obs::KernelStats& ks = bk.kstats();
+  ks.gemm_calls->add(1);
+  ks.gemm_flops->add(2ull * static_cast<unsigned long long>(m) *
+                     static_cast<unsigned long long>(n) *
+                     static_cast<unsigned long long>(k));
+}
+
+}  // namespace
+
 void ReferenceBackend::gemm(long m, long n, long k, float alpha,
                             const float* a, const float* b, float beta,
                             float* c) const {
+  count_gemm(*this, m, n, k);
   ber::gemm(m, n, k, alpha, a, b, beta, c);
 }
 
 void ReferenceBackend::gemm_at(long m, long n, long k, float alpha,
                                const float* a, const float* b, float beta,
                                float* c) const {
+  count_gemm(*this, m, n, k);
   ber::gemm_at(m, n, k, alpha, a, b, beta, c);
 }
 
 void ReferenceBackend::gemm_bt(long m, long n, long k, float alpha,
                                const float* a, const float* b, float beta,
                                float* c) const {
+  count_gemm(*this, m, n, k);
   ber::gemm_bt(m, n, k, alpha, a, b, beta, c);
 }
 

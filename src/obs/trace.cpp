@@ -1,0 +1,248 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ber::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}
+
+namespace {
+
+constexpr std::size_t kMaxEventsPerThread = 1u << 18;
+
+struct TraceEvent {
+  const char* cat;
+  const char* name;        // static-string events (spans / instants)
+  std::string name_owned;  // metadata events (thread names)
+  char ph;                 // 'X' complete, 'i' instant, 'M' metadata
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::string args_json;   // pre-serialized {"k":v,...} or ""
+};
+
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Global {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;  // live + retired threads
+  std::uint32_t next_tid = 1;
+  std::atomic<std::uint64_t> t0_ns{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: worker threads may
+                                    // outlive main's static teardown
+  return *g;
+}
+
+// The calling thread's buffer; registered globally on first use and kept
+// alive by the global list after thread exit (events must survive joins).
+ThreadBuf& tls_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    b->tid = g.next_tid++;
+    g.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::uint64_t trace_now_us() {
+  const std::uint64_t t0 = global().t0_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = monotonic_ns();
+  return (now - std::min(t0, now)) / 1000;
+}
+
+void append_event(TraceEvent ev) {
+  ThreadBuf& buf = tls_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    global().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(std::move(ev));
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string serialize_args(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_json_escaped(out, a.key);
+    out += "\":";
+    if (a.str != nullptr) {
+      out += "\"";
+      append_json_escaped(out, a.str);
+      out += "\"";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", a.num);
+      out += buf;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void start_tracing() {
+  Global& g = global();
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const auto& buf : g.bufs) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      buf->events.clear();
+    }
+    g.dropped.store(0, std::memory_order_relaxed);
+    g.t0_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  }
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_events_dropped() {
+  return global().dropped.load(std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.cat = "__metadata";
+  ev.name = "thread_name";
+  ev.name_owned = name;
+  ev.ph = 'M';
+  ev.ts_us = 0;
+  append_event(std::move(ev));
+}
+
+void TraceScope::begin(const char* cat, const char* name,
+                       std::initializer_list<TraceArg> args) {
+  cat_ = cat;
+  name_ = name;
+  args_json_ = serialize_args(args);
+  start_us_ = trace_now_us();
+  active_ = true;
+}
+
+void TraceScope::end() {
+  active_ = false;
+  // A span still open when the trace stops is dropped: its duration would
+  // straddle the stop and the exporter is simpler without partial spans.
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat_;
+  ev.name = name_;
+  ev.ph = 'X';
+  ev.ts_us = start_us_;
+  ev.dur_us = trace_now_us() - start_us_;
+  ev.args_json = std::move(args_json_);
+  append_event(std::move(ev));
+}
+
+void trace_instant(const char* cat, const char* name,
+                   std::initializer_list<TraceArg> args) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ph = 'i';
+  ev.ts_us = trace_now_us();
+  ev.args_json = serialize_args(args);
+  append_event(std::move(ev));
+}
+
+Json trace_json() {
+  // Collect a copy of every thread's events (taking each buffer's own lock
+  // so in-flight appends on still-running threads stay safe).
+  std::vector<std::pair<TraceEvent, std::uint32_t>> all;
+  {
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const auto& buf : g.bufs) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      for (const TraceEvent& ev : buf->events) {
+        all.emplace_back(ev, buf->tid);
+      }
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.first.ts_us < b.first.ts_us;
+  });
+
+  Json events = Json::array();
+  for (const auto& [ev, tid] : all) {
+    Json e = Json::object();
+    e.set("ph", std::string(1, ev.ph));
+    e.set("pid", 1);
+    e.set("tid", static_cast<long>(tid));
+    if (ev.ph == 'M') {
+      e.set("name", std::string(ev.name));
+      e.set("ts", static_cast<std::uint64_t>(ev.ts_us));
+      Json args = Json::object();
+      args.set("name", ev.name_owned);
+      e.set("args", std::move(args));
+    } else {
+      e.set("name", std::string(ev.name));
+      e.set("cat", std::string(ev.cat));
+      e.set("ts", static_cast<std::uint64_t>(ev.ts_us));
+      if (ev.ph == 'X') e.set("dur", static_cast<std::uint64_t>(ev.dur_us));
+      if (ev.ph == 'i') e.set("s", "t");  // instant scope: thread
+      if (!ev.args_json.empty()) e.set("args", Json::parse(ev.args_json));
+    }
+    events.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j.set("traceEvents", std::move(events));
+  j.set("displayTimeUnit", "ms");
+  return j;
+}
+
+void write_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("obs::write_trace: cannot write " + path);
+  }
+  out << trace_json().dump(1) << "\n";
+}
+
+}  // namespace ber::obs

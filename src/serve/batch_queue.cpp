@@ -3,7 +3,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ber {
+
+namespace {
+
+// Process-wide queue metrics; references resolved once, then relaxed atomics.
+struct QueueMetrics {
+  obs::Counter& submitted = obs::registry().counter("serve.requests_submitted");
+  obs::Counter& rejections = obs::registry().counter("serve.queue_rejections");
+  obs::Gauge& depth_images = obs::registry().gauge("serve.queue_depth_images");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics m;
+  return m;
+}
+
+}  // namespace
 
 BatchQueue::BatchQueue(BatchQueueConfig config) : config_(config) {
   if (config_.max_batch < 1 || config_.max_wait_us < 0) {
@@ -29,6 +48,7 @@ std::future<std::vector<Prediction>> BatchQueue::submit(Tensor input) {
   }
   req.input = std::move(input);
   req.enqueued = std::chrono::steady_clock::now();
+  const long n_images = req.n_images;
   std::future<std::vector<Prediction>> fut = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -39,6 +59,10 @@ std::future<std::vector<Prediction>> BatchQueue::submit(Tensor input) {
     // never makes a request impossible, only a backlog.
     if (config_.max_queue_images > 0 && queued_images_ > 0 &&
         queued_images_ + req.n_images > config_.max_queue_images) {
+      queue_metrics().rejections.add(1);
+      BER_TRACE_INSTANT("queue", "reject",
+                        {"queued_images", queued_images_},
+                        {"n_images", n_images});
       throw QueueFullError(
           "BatchQueue::submit: queue full (" + std::to_string(queued_images_) +
           " images queued, max_queue_images=" +
@@ -46,7 +70,11 @@ std::future<std::vector<Prediction>> BatchQueue::submit(Tensor input) {
     }
     queue_.push_back(std::move(req));
     queued_images_ += queue_.back().n_images;
+    QueueMetrics& qm = queue_metrics();
+    qm.submitted.add(1);
+    qm.depth_images.set(static_cast<double>(queued_images_));
   }
+  BER_TRACE_INSTANT("queue", "submit", {"n_images", n_images});
   cv_.notify_one();
   return fut;
 }
@@ -57,6 +85,9 @@ WorkBatch BatchQueue::pop() {
   cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return wb;  // closed and drained
 
+  // Spans the coalescing window (including the straggler linger), not the
+  // idle wait above.
+  BER_TRACE_SCOPE("queue", "batch_form");
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(config_.max_wait_us);
   for (;;) {
@@ -71,6 +102,7 @@ WorkBatch BatchQueue::pop() {
       wb.requests.push_back(std::move(queue_.front()));
       queue_.pop_front();
       queued_images_ -= n;
+      queue_metrics().depth_images.set(static_cast<double>(queued_images_));
       wb.total_images += n;
       if (wb.total_images >= config_.max_batch) return wb;
     }

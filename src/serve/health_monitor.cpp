@@ -3,7 +3,25 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ber {
+
+namespace {
+
+struct HealthMetrics {
+  obs::Counter& canaries = obs::registry().counter("health.canaries");
+  obs::Counter& trips = obs::registry().counter("health.trips");
+  obs::Counter& redeploys = obs::registry().counter("health.redeploys");
+};
+
+HealthMetrics& health_metrics() {
+  static HealthMetrics m;
+  return m;
+}
+
+}  // namespace
 
 HealthMonitor::HealthMonitor(Dataset probe, HealthConfig config)
     : probe_(std::move(probe)), config_(config) {
@@ -21,12 +39,21 @@ bool HealthMonitor::due(long batches_served) const {
 }
 
 HealthEvent HealthMonitor::check(Replica& replica) {
+  BER_TRACE_SCOPE_ARGS("health", "canary", {"replica", replica.id()});
+  HealthMetrics& hm = health_metrics();
+  hm.canaries.add(1);
   HealthEvent ev;
   ev.replica = replica.id();
   ev.voltage_before = replica.point().voltage;
   ev.canary_err = replica.canary(probe_, config_.probe_batch).error;
   ev.tripped = ev.canary_err > config_.max_err;
-  if (ev.tripped) ev.stepped = replica.step_up();
+  if (ev.tripped) {
+    hm.trips.add(1);
+    BER_TRACE_INSTANT("health", "trip", {"replica", ev.replica},
+                      {"canary_err", ev.canary_err});
+    ev.stepped = replica.step_up();
+    if (ev.stepped) hm.redeploys.add(1);
+  }
   ev.voltage_after = replica.point().voltage;
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -4,8 +4,30 @@
 #include <utility>
 
 #include "nn/code_compute.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ber {
+
+namespace {
+
+// Fleet-wide deploy telemetry, labeled by which path served the deploy.
+struct DeployMetrics {
+  obs::Counter& full = obs::registry().counter("serve.deploys",
+                                               {{"kind", "full"}});
+  obs::Counter& delta = obs::registry().counter("serve.deploys",
+                                                {{"kind", "delta"}});
+  obs::Counter& noop = obs::registry().counter("serve.deploys",
+                                               {{"kind", "noop"}});
+  obs::Counter& bytes = obs::registry().counter("serve.deploy_bytes");
+};
+
+DeployMetrics& deploy_metrics() {
+  static DeployMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Replica::Replica(int id, const Sequential& model, const NetQuantizer& quantizer,
                  std::shared_ptr<const NetSnapshot> base, ChipFaultList faults,
@@ -54,15 +76,23 @@ void Replica::deploy(std::size_t grid_index) {
     // Same grid point and the deployed snapshot is intact: fault
     // persistence makes the redeploy a strict no-op.
     ++deploy_stats_.noop_deploys;
+    deploy_metrics().noop.add(1);
+    BER_TRACE_INSTANT("deploy", "noop", {"replica", id_});
     return;
   }
+  BER_TRACE_SCOPE_ARGS("deploy", "delta", {"replica", id_},
+                       {"grid_index", grid_index});
   const double p_from = rates_[index_];
   index_ = grid_index;
   std::vector<ChipFaultList::ChangedCode> changed;
   last_changed_ =
       faults_.apply_delta(snap_, *base_, p_from, rates_[index_], &changed);
   ++deploy_stats_.delta_deploys;
-  deploy_stats_.bytes_written += changed.size() * bytes_per_word();
+  const unsigned long long bytes = changed.size() * bytes_per_word();
+  deploy_stats_.bytes_written += bytes;
+  DeployMetrics& dm = deploy_metrics();
+  dm.delta.add(1);
+  dm.bytes.add(bytes);
   for (const ChipFaultList::ChangedCode& c : changed) {
     const QuantizedTensor& qt = snap_.tensors[c.tensor];
     const std::uint16_t code = qt.codes[c.index];
@@ -80,14 +110,20 @@ void Replica::deploy_full(std::size_t grid_index) {
   if (grid_index >= voltages_.size()) {
     throw std::out_of_range("Replica::deploy_full: grid index out of range");
   }
+  BER_TRACE_SCOPE_ARGS("deploy", "full", {"replica", id_},
+                       {"grid_index", grid_index});
   index_ = grid_index;
   snap_ = *base_;
   last_changed_ = faults_.apply(snap_, rates_[index_]);
   deploy_snapshot(snap_, slots_, on_codes_);
   snap_valid_ = true;
-  deploy_stats_.bytes_written +=
+  const unsigned long long bytes =
       static_cast<unsigned long long>(snap_.total_weights()) *
       bytes_per_word();
+  deploy_stats_.bytes_written += bytes;
+  DeployMetrics& dm = deploy_metrics();
+  dm.full.add(1);
+  dm.bytes.add(bytes);
 }
 
 bool Replica::step_up() {

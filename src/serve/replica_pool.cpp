@@ -4,18 +4,17 @@
 #include <cstring>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/parallel.h"
 #include "kernels/backend.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace ber {
 
 namespace {
-
-// Most recent per-request latencies retained for percentile reporting.
-constexpr std::size_t kLatencyWindow = 1 << 16;
 
 // [C,H,W] of a request tensor (3-d single image or 4-d batch).
 std::vector<long> image_shape_of(const Tensor& t) {
@@ -23,14 +22,23 @@ std::vector<long> image_shape_of(const Tensor& t) {
   return {t.shape(d - 3), t.shape(d - 2), t.shape(d - 1)};
 }
 
-double percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double idx = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
+// Registry-side per-replica serving instruments, resolved once per worker.
+struct ReplicaMetrics {
+  obs::Counter& requests;
+  obs::Counter& images;
+  obs::Counter& batches;
+  obs::Histogram& latency_us;
+
+  explicit ReplicaMetrics(std::size_t i)
+      : requests(obs::registry().counter(
+            "serve.requests", {{"replica", std::to_string(i)}})),
+        images(obs::registry().counter("serve.images",
+                                       {{"replica", std::to_string(i)}})),
+        batches(obs::registry().counter("serve.batches",
+                                        {{"replica", std::to_string(i)}})),
+        latency_us(obs::registry().histogram(
+            "serve.request_latency_us", {{"replica", std::to_string(i)}})) {}
+};
 
 }  // namespace
 
@@ -88,11 +96,16 @@ void ReplicaPool::worker(std::size_t i) {
   // one replica per core is already the right granularity.
   const kernels::ScopedBackend backend_guard(*backend_);
   const ParallelWorkerScope worker_mark;
+  obs::set_thread_name("serve.worker/" + std::to_string(i));
+  const ReplicaMetrics metrics(i);
   Replica& replica = replicas_[i];
   for (;;) {
     WorkBatch wb = queue_.pop();
     if (wb.empty()) return;  // closed and drained
 
+    BER_TRACE_SCOPE_ARGS("serve", "batch", {"replica", i},
+                         {"images", wb.total_images},
+                         {"requests", wb.requests.size()});
     std::vector<double> latencies;
     std::size_t fulfilled = 0;
     try {
@@ -108,9 +121,14 @@ void ReplicaPool::worker(std::size_t i) {
         row += req.n_images;
       }
 
-      Tensor probs = replica.forward(batch);
-      softmax_rows(probs);
+      Tensor probs = [&] {
+        BER_TRACE_SCOPE_ARGS("serve", "forward", {"images", wb.total_images});
+        Tensor p = replica.forward(batch);
+        softmax_rows(p);
+        return p;
+      }();
 
+      BER_TRACE_SCOPE("serve", "reply");
       const auto done = std::chrono::steady_clock::now();
       latencies.reserve(wb.requests.size());
       row = 0;
@@ -136,6 +154,16 @@ void ReplicaPool::worker(std::size_t i) {
       }
     }
 
+    // Histogram recording is lock-free; only the legacy counter snapshot
+    // still wants stats_mu_.
+    metrics.requests.add(latencies.size());
+    metrics.images.add(static_cast<std::uint64_t>(wb.total_images));
+    metrics.batches.add(1);
+    for (double l : latencies) {
+      latency_hist_.record(l);
+      metrics.latency_us.record(l);
+    }
+
     long batches_served;
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
@@ -143,14 +171,6 @@ void ReplicaPool::worker(std::size_t i) {
       ++ws.batches;
       ws.images += wb.total_images;
       ws.requests += static_cast<long>(wb.requests.size());
-      for (double l : latencies) {
-        if (latency_window_.size() < kLatencyWindow) {
-          latency_window_.push_back(l);
-        } else {
-          latency_window_[latency_next_] = l;
-        }
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-      }
       batches_served = ws.batches;
     }
     if (monitor_ && monitor_->due(batches_served)) {
@@ -181,10 +201,10 @@ ServingStats ReplicaPool::stats() const {
   }
   s.mean_batch_images =
       s.batches > 0 ? static_cast<double>(s.images) / s.batches : 0.0;
-  std::vector<double> sorted = latency_window_;
-  std::sort(sorted.begin(), sorted.end());
-  s.p50_latency_us = percentile(sorted, 0.50);
-  s.p99_latency_us = percentile(sorted, 0.99);
+  const obs::Histogram::Snapshot lat = latency_hist_.snapshot();
+  s.p50_latency_us = lat.quantile(0.50);
+  s.p99_latency_us = lat.quantile(0.99);
+  s.p999_latency_us = lat.quantile(0.999);
   return s;
 }
 

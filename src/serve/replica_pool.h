@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/batch_queue.h"
 #include "serve/health_monitor.h"
 #include "serve/replica.h"
@@ -38,12 +39,13 @@ struct ServingStats {
   long images = 0;
   long batches = 0;
   double mean_batch_images = 0.0;
-  // Latency percentiles (submit -> promise fulfilled, per request) over the
-  // most recent window of requests — the history is bounded so a
-  // long-running pool neither grows without limit nor pays an ever-larger
-  // sort per stats() snapshot.
+  // Latency percentiles (submit -> promise fulfilled, per request) from a
+  // log-linear histogram over the pool's whole lifetime (obs/metrics.h):
+  // O(1) recording, <= ~3.2% relative bucket error, no window truncation
+  // and no per-snapshot sort. The field names predate the histogram port.
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
   std::vector<long> per_replica_batches;
   std::vector<long> per_replica_images;
   // Deployment telemetry aggregated over the fleet (Replica::DeployStats):
@@ -103,8 +105,10 @@ class ReplicaPool {
     Replica::DeployStats deploy;
   };
   std::vector<WorkerStats> worker_stats_;
-  std::vector<double> latency_window_;  // ring buffer, kLatencyWindow cap
-  std::size_t latency_next_ = 0;
+  // Pool-local latency distribution backing the ServingStats percentile
+  // fields (per-pool semantics); the process-wide registry additionally gets
+  // per-replica serve.request_latency_us{replica=i} histograms.
+  obs::Histogram latency_hist_;
 
   // Shape check on the submit hot path has its own mutex so producers never
   // contend with worker stat updates.

@@ -1,0 +1,331 @@
+// Tests for the src/obs/ observability subsystem: histogram bucket geometry
+// and quantile accuracy vs an exact sort, counter/gauge concurrency, the
+// registry's canonical keys / kind checks / JSON round-trip, trace JSON
+// well-formedness and span nesting, kernel profiling counters, and the
+// disabled-path overhead contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "ber.h"
+
+namespace {
+
+using namespace ber;
+using obs::Histogram;
+
+// Serialize-then-reparse exercises the exporter and the dump in one go.
+std::string trace_json_text() { return obs::trace_json().dump(2); }
+
+// ----------------------------------------------------- bucket geometry ---
+
+TEST(ObsHistogram, BucketBoundariesConsistent) {
+  // Every bucket's lower bound must map back to its own index, and the
+  // value just below the (exclusive) upper bound must too.
+  for (std::size_t idx = 0; idx < 1500; ++idx) {
+    const std::uint64_t lo = Histogram::bucket_lower(idx);
+    const std::uint64_t hi = Histogram::bucket_upper(idx);
+    ASSERT_LT(lo, hi) << "idx=" << idx;
+    EXPECT_EQ(Histogram::bucket_index(lo), idx) << "lo=" << lo;
+    EXPECT_EQ(Histogram::bucket_index(hi - 1), idx) << "hi=" << hi;
+  }
+}
+
+TEST(ObsHistogram, BucketIndexMonotone) {
+  std::uint64_t prev_idx = 0;
+  for (std::uint64_t v = 0; v < (1u << 14); ++v) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev_idx) << "v=" << v;
+    prev_idx = idx;
+  }
+  // Spot checks: values below kSub land in exact unit buckets.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(static_cast<std::uint64_t>(
+                Histogram::kSub - 1)),
+            static_cast<std::size_t>(Histogram::kSub - 1));
+  // Relative bucket width above the linear range is at most 1/kSub.
+  for (std::size_t idx = Histogram::kSub; idx < 1500; ++idx) {
+    const double lo = static_cast<double>(Histogram::bucket_lower(idx));
+    const double hi = static_cast<double>(Histogram::bucket_upper(idx));
+    EXPECT_LE((hi - lo) / lo, 1.0 / Histogram::kSub + 1e-12) << "idx=" << idx;
+  }
+}
+
+TEST(ObsHistogram, ExtremeValues) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-5.0);  // clamps to 0
+  h.record(1e18);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.max, 1e18);
+  EXPECT_EQ(h.snapshot().quantile(0.0), 0.0);
+}
+
+// -------------------------------------------- quantiles vs exact sort ---
+
+TEST(ObsHistogram, QuantileAccuracyVsExactSort) {
+  std::mt19937 rng(7);
+  std::lognormal_distribution<double> dist(6.0, 1.5);  // latency-shaped
+  Histogram h;
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::round(dist(rng));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const Histogram::Snapshot s = h.snapshot();
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double approx = s.quantile(q);
+    // Bucket width is <= ~3.2%; allow 5% for interpolation + rank effects.
+    EXPECT_NEAR(approx, exact, 0.05 * exact) << "q=" << q;
+  }
+  EXPECT_NEAR(s.mean(),
+              std::accumulate(samples.begin(), samples.end(), 0.0) /
+                  static_cast<double>(samples.size()),
+              1e-6);
+}
+
+TEST(ObsHistogram, SnapshotDeltaIsolatesWindow) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10.0);
+  const Histogram::Snapshot before = h.snapshot();
+  for (int i = 0; i < 50; ++i) h.record(1000.0);
+  const Histogram::Snapshot delta = h.snapshot() - before;
+  EXPECT_EQ(delta.count, 50u);
+  EXPECT_DOUBLE_EQ(delta.sum, 50 * 1000.0);
+  // The window's p50 sees only the new samples.
+  EXPECT_NEAR(delta.quantile(0.5), 1000.0, 0.05 * 1000.0);
+}
+
+// ----------------------------------------------------------- concurrency ---
+
+TEST(ObsConcurrency, CountersAndGaugesExactUnderContention) {
+  obs::Counter c;
+  obs::Gauge g;
+  Histogram h;
+  constexpr int kThreads = 8, kPer = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        c.add(1);
+        g.add(1.0);
+        g.set_max(static_cast<double>(t * kPer + i));
+        h.record(static_cast<double>(i % 1024));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(ObsGauge, SetMaxIsMonotone) {
+  obs::Gauge g;
+  g.set_max(5.0);
+  g.set_max(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  g.set(1.0);  // plain set is not monotone
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+// -------------------------------------------------------------- registry ---
+
+TEST(ObsRegistry, CanonicalKeysAndStableHandles) {
+  EXPECT_EQ(obs::metric_key("m", {}), "m");
+  // Labels sort by key regardless of call-site order.
+  EXPECT_EQ(obs::metric_key("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=\"1\",b=\"2\"}");
+  obs::Counter& c1 =
+      obs::registry().counter("test_obs.stable", {{"x", "1"}, {"y", "2"}});
+  obs::Counter& c2 =
+      obs::registry().counter("test_obs.stable", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&c1, &c2);
+  // Same key as a different kind must throw, not alias.
+  EXPECT_THROW(
+      obs::registry().gauge("test_obs.stable", {{"x", "1"}, {"y", "2"}}),
+      std::invalid_argument);
+}
+
+TEST(ObsRegistry, SnapshotRoundTripsThroughJson) {
+  obs::registry().counter("test_obs.rt_counter").add(42);
+  obs::registry().gauge("test_obs.rt_gauge").set(2.5);
+  obs::Histogram& h =
+      obs::registry().histogram("test_obs.rt_hist", {{"k", "v"}});
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  const Json snap = obs::registry().to_json();
+  ASSERT_TRUE(snap.is_object());
+  const Json reparsed = Json::parse(snap.dump(2));
+  EXPECT_EQ(reparsed, snap);
+
+  EXPECT_EQ(snap.at("counters").at("test_obs.rt_counter").as_int(), 42);
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("test_obs.rt_gauge").as_number(), 2.5);
+  const Json& hj = snap.at("histograms").at("test_obs.rt_hist{k=\"v\"}");
+  EXPECT_EQ(hj.at("count").as_int(), 100);
+  EXPECT_GT(hj.at("p99").as_number(), hj.at("p50").as_number());
+
+  // Prometheus exposition mentions the instruments too.
+  const std::string prom = obs::registry().to_prometheus();
+  EXPECT_NE(prom.find("test_obs_rt_counter"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesKeepsHandles) {
+  obs::Counter& c = obs::registry().counter("test_obs.reset_me");
+  c.add(7);
+  obs::registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);  // handle still live
+  EXPECT_EQ(c.value(), 3u);
+}
+
+// ---------------------------------------------------------------- tracing ---
+
+TEST(ObsTrace, SpansNestAndExportWellFormedJson) {
+  obs::start_tracing();
+  obs::set_thread_name("test-main");
+  {
+    BER_TRACE_SCOPE_ARGS("testcat", "outer", {"n", 3});
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      BER_TRACE_SCOPE("testcat", "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    BER_TRACE_INSTANT("othercat", "marker", {"note", "hi"});
+  }
+  obs::stop_tracing();
+
+  const Json trace = Json::parse(trace_json_text());
+  ASSERT_TRUE(trace.is_object());
+  const Json& events = trace.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  const Json *outer = nullptr, *inner = nullptr, *marker = nullptr;
+  int categories_seen = 0;
+  std::vector<std::string> cats;
+  for (const Json& ev : events.items()) {
+    ASSERT_TRUE(ev.contains("ph"));
+    ASSERT_TRUE(ev.contains("ts"));
+    const std::string name = ev.at("name").as_string();
+    if (name == "outer") outer = &ev;
+    if (name == "inner") inner = &ev;
+    if (name == "marker") marker = &ev;
+    if (ev.contains("cat")) {
+      const std::string c = ev.at("cat").as_string();
+      if (std::find(cats.begin(), cats.end(), c) == cats.end()) {
+        cats.push_back(c);
+        ++categories_seen;
+      }
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(marker, nullptr);
+  EXPECT_GE(categories_seen, 2);
+
+  // Nesting: inner lies strictly within [outer.ts, outer.ts + outer.dur],
+  // and both ran on the same (named) thread.
+  EXPECT_EQ(outer->at("ph").as_string(), "X");
+  EXPECT_EQ(inner->at("ph").as_string(), "X");
+  EXPECT_EQ(marker->at("ph").as_string(), "i");
+  const double o_ts = outer->at("ts").as_number();
+  const double o_dur = outer->at("dur").as_number();
+  const double i_ts = inner->at("ts").as_number();
+  const double i_dur = inner->at("dur").as_number();
+  EXPECT_GE(i_ts, o_ts);
+  EXPECT_LE(i_ts + i_dur, o_ts + o_dur + 1.0);  // 1us serialization slack
+  EXPECT_EQ(outer->at("tid").as_int(), inner->at("tid").as_int());
+  EXPECT_EQ(outer->at("args").at("n").as_number(), 3.0);
+  EXPECT_EQ(marker->at("args").at("note").as_string(), "hi");
+}
+
+TEST(ObsTrace, StartTracingClearsPriorEvents) {
+  obs::start_tracing();
+  { BER_TRACE_SCOPE("testcat", "stale"); }
+  obs::start_tracing();  // re-base: the stale span must vanish
+  { BER_TRACE_SCOPE("testcat", "fresh"); }
+  obs::stop_tracing();
+  const std::string text = trace_json_text();
+  EXPECT_EQ(text.find("\"stale\""), std::string::npos);
+  EXPECT_NE(text.find("\"fresh\""), std::string::npos);
+}
+
+TEST(ObsTrace, DisabledPathRecordsNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  { BER_TRACE_SCOPE("testcat", "ghost"); }
+  obs::start_tracing();
+  obs::stop_tracing();
+  EXPECT_EQ(trace_json_text().find("ghost"), std::string::npos);
+}
+
+// Disabled tracing must cost ~a relaxed load per scope. This is a smoke
+// bound, deliberately generous (3x a bare loop) to stay robust on loaded CI
+// machines; the real contract is "no measurable overhead at call sites".
+TEST(ObsTrace, DisabledPathOverheadSmoke) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  constexpr int kIters = 2000000;
+  volatile long sink = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) sink += i;
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    BER_TRACE_SCOPE("testcat", "off");
+    sink += i;
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double plain = std::chrono::duration<double>(t1 - t0).count();
+  const double traced = std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_LT(traced, std::max(3.0 * plain, plain + 0.05))
+      << "plain=" << plain << "s traced=" << traced << "s";
+}
+
+// ------------------------------------------------------- kernel counters ---
+
+TEST(ObsKernels, ReferenceGemmCountsCallsAndFlops) {
+  const kernels::Backend& bk = kernels::backend("reference");
+  obs::KernelStats& ks = bk.kstats();
+  const std::uint64_t calls0 = ks.gemm_calls->value();
+  const std::uint64_t flops0 = ks.gemm_flops->value();
+
+  const long m = 4, n = 5, k = 3;
+  Tensor a({m, k}), b({k, n}), c({m, n});
+  a.fill(1.0f);
+  b.fill(2.0f);
+  c.fill(0.0f);
+  bk.gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+
+  EXPECT_EQ(ks.gemm_calls->value(), calls0 + 1);
+  EXPECT_EQ(ks.gemm_flops->value(),
+            flops0 + 2ull * static_cast<std::uint64_t>(m * n * k));
+  // Counters never touch the math.
+  EXPECT_FLOAT_EQ(c.at(0, 0), 6.0f);
+}
+
+TEST(ObsKernels, ArenaHighWaterGaugeTracksCapacity) {
+  obs::note_arena_capacity(1000);
+  obs::Gauge& g = obs::registry().gauge("kernels.arena_hwm_bytes");
+  const double before = g.value();
+  EXPECT_GE(before, 1000.0);
+  obs::note_arena_capacity(10);  // smaller: high-water must not regress
+  EXPECT_DOUBLE_EQ(g.value(), before);
+}
+
+}  // namespace

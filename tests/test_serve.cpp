@@ -324,6 +324,72 @@ TEST(Replica, StepUpReusesListBitExactly) {
   EXPECT_DOUBLE_EQ(r.point().voltage, 1.0);
 }
 
+TEST(Replica, DeployByteAccountingHasNoDrift) {
+  Served& s = Served::instance();
+  OperatingPointPlanner planner(*s.model, s.scheme);
+  SloConfig slo;
+  slo.max_rerr = 1.0;
+  RandomBitErrorModel fault({0.01});
+  const OperatingPointPlan plan =
+      planner.plan(fault, s.test_set, {1.0, 0.92, 0.86, 0.8}, slo, 1);
+
+  // Registry deltas (counters are process-cumulative) alongside the
+  // per-replica DeployStats.
+  obs::Counter& full_ctr =
+      obs::registry().counter("serve.deploys", {{"kind", "full"}});
+  obs::Counter& delta_ctr =
+      obs::registry().counter("serve.deploys", {{"kind", "delta"}});
+  obs::Counter& noop_ctr =
+      obs::registry().counter("serve.deploys", {{"kind", "noop"}});
+  obs::Counter& bytes_ctr = obs::registry().counter("serve.deploy_bytes");
+  const std::uint64_t full0 = full_ctr.value();
+  const std::uint64_t delta0 = delta_ctr.value();
+  const std::uint64_t noop0 = noop_ctr.value();
+  const std::uint64_t bytes0 = bytes_ctr.value();
+
+  std::vector<Replica> fleet = planner.deploy_fleet(fault, plan, 1);
+  Replica& r = fleet[0];
+  const unsigned long long bpw =
+      sizeof(std::uint16_t) + sizeof(float) + (r.compute_on_codes() ? 1 : 0);
+
+  // Independent replay: mirror the replica's deploy sequence on a shadow
+  // snapshot and account bytes as (#patched code words) x bytes/word. Any
+  // drift between this and DeployStats.bytes_written is an accounting bug.
+  const NetSnapshot base = planner.evaluator().snapshot();
+  const ChipFaultList list =
+      fault.fault_list(base, /*trial=*/0, plan.grid.back().rate);
+  NetSnapshot shadow = base;
+  list.apply(shadow, plan.chosen_point().rate);
+  unsigned long long expected =
+      static_cast<unsigned long long>(shadow.total_weights()) * bpw;
+  EXPECT_EQ(r.deploy_stats().bytes_written, expected);
+
+  const std::size_t seq[] = {3, 3, 1, 2, 0, plan.chosen};
+  std::size_t cur = plan.chosen;
+  for (const std::size_t next : seq) {
+    r.deploy(next);
+    if (next != cur) {
+      std::vector<ChipFaultList::ChangedCode> changed;
+      list.apply_delta(shadow, base, plan.grid[cur].rate,
+                       plan.grid[next].rate, &changed);
+      expected += changed.size() * bpw;
+      cur = next;
+    }
+    EXPECT_EQ(r.deploy_stats().bytes_written, expected);
+  }
+
+  // The labeled registry counters moved in lockstep with DeployStats.
+  const Replica::DeployStats& ds = r.deploy_stats();
+  EXPECT_EQ(full_ctr.value() - full0,
+            static_cast<std::uint64_t>(ds.deploys - ds.delta_deploys -
+                                       ds.noop_deploys));
+  EXPECT_EQ(delta_ctr.value() - delta0,
+            static_cast<std::uint64_t>(ds.delta_deploys));
+  EXPECT_EQ(noop_ctr.value() - noop0,
+            static_cast<std::uint64_t>(ds.noop_deploys));
+  EXPECT_EQ(bytes_ctr.value() - bytes0, ds.bytes_written);
+}
+
 // ------------------------------------------------------------ batch queue --
 
 TEST(BatchQueue, CoalescesUpToMaxBatchWithoutSplitting) {
@@ -497,6 +563,18 @@ TEST(ReplicaPool, ConcurrentProducersLoseNothingAndMatchSerial) {
   for (long b : stats.per_replica_images) per_replica_total += b;
   EXPECT_EQ(per_replica_total, n_images);
   EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+  EXPECT_GE(stats.p999_latency_us, stats.p99_latency_us);
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+
+  // Every served request also landed in a per-replica registry histogram.
+  std::uint64_t hist_count = 0;
+  const Json snap = obs::registry().to_json();
+  for (const auto& [key, value] : snap.at("histograms").members()) {
+    if (key.rfind("serve.request_latency_us{", 0) == 0) {
+      hist_count += static_cast<std::uint64_t>(value.at("count").as_int());
+    }
+  }
+  EXPECT_GE(hist_count, static_cast<std::uint64_t>(n_images));
 }
 
 TEST(ReplicaPool, PrebatchedTensorsReturnPerImagePredictions) {

@@ -5,6 +5,8 @@
 //   ber_run --out report.json configs/...   # write the report to a file
 //   ber_run --print-spec configs/...        # parse+validate+echo, no run
 //   ber_run --list                          # registry names a spec can use
+//   ber_run --metrics-out m.json configs/... # obs registry snapshot to file
+//   ber_run --trace-out t.json configs/...   # chrome://tracing trace to file
 //
 // Multiple spec files run in order; with --out, report files are suffixed
 // by the experiment name when more than one spec is given. Robustness
@@ -26,7 +28,8 @@ using namespace ber;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ber_run [--out FILE] [--table] [--print-spec] "
+               "usage: ber_run [--out FILE] [--metrics-out FILE] "
+               "[--trace-out FILE] [--table] [--print-spec] "
                "SPEC.json [SPEC.json ...]\n"
                "       ber_run --list\n");
   return 2;
@@ -85,7 +88,7 @@ void print_table(const api::Report& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path;
+  std::string out_path, metrics_path, trace_path;
   bool table = false, print_spec = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +103,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (++i >= argc) return usage();
       out_path = argv[i];
+    } else if (arg == "--metrics-out") {
+      if (++i >= argc) return usage();
+      metrics_path = argv[i];
+    } else if (arg == "--trace-out") {
+      if (++i >= argc) return usage();
+      trace_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -107,6 +116,7 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return usage();
+  if (!trace_path.empty()) obs::start_tracing();
 
   std::set<std::string> written;
   for (const std::string& file : files) {
@@ -158,6 +168,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[ber_run] report written to %s\n", path.c_str());
     }
     if (table) print_table(report);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "ber_run: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << obs::registry().to_json().dump(2) << "\n";
+    std::fprintf(stderr, "[ber_run] metrics written to %s\n",
+                 metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::stop_tracing();
+    try {
+      obs::write_trace(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ber_run: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "[ber_run] trace written to %s\n", trace_path.c_str());
   }
   return 0;
 }
