@@ -99,6 +99,7 @@ Json Report::to_json() const {
       t.set("mean_batch", s.mean_batch);
       sj.set("traffic", std::move(t));
     }
+    if (!s.timeline.is_null()) sj.set("timeline", s.timeline);
     j.set("serve", std::move(sj));
     if (!metrics.is_null()) j.set("metrics", metrics);
     return j;
@@ -357,7 +358,31 @@ Report Runner::run_serve() {
   s.fleet_energy = planner.fleet_energy_per_access(fleet);
   s.requests = sv.requests;
 
-  if (sv.requests > 0) {
+  if (sv.traffic.enabled()) {
+    // Open-loop load: arrival-process schedules drive the pool on their own
+    // clock (serve/traffic_gen.h); queueing delay and shed are properties
+    // of the pool, not of a request-and-wait client. The scoreboard's
+    // windowed timeline lands in the report.
+    ReplicaPool pool(std::move(fleet), sv.queue);
+    TrafficGenerator gen(pool, *rm.test_set, sv.traffic);
+    TrafficResult tr;
+    {
+      BER_TRACE_SCOPE_ARGS("runner", "traffic_open_loop",
+                           {"phases", sv.traffic.phases.size()});
+      tr = gen.run();
+      pool.drain();
+    }
+    s.requests = static_cast<long>(tr.offered);
+    s.answered = static_cast<long>(tr.answered);
+    s.rejected = static_cast<long>(tr.shed);
+    shed.add(0);  // key exists even if the generator never shed
+    s.timeline = std::move(tr.timeline);
+    s.mean_batch = pool.stats().mean_batch_images;
+    BER_TRACE_SCOPE("runner", "canary");
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      s.canary_errs.push_back(pool.replica(i).canary(canary_set).error);
+    }
+  } else if (sv.requests > 0) {
     // Drive single-image traffic through the dynamic-batching pool. With a
     // bounded queue (max_queue_images) submissions can be rejected; the
     // client retries with a short backoff (as a real load-shedding client

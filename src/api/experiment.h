@@ -55,6 +55,9 @@ struct ServeReport {
   long answered = 0;
   long rejected = 0;                // bounded-queue admission rejections
   double mean_batch = 0.0;
+  // Windowed SLO timeline (SloScoreboard::to_json()) when the spec drives
+  // open-loop traffic; null otherwise.
+  Json timeline;
 };
 
 struct Report {

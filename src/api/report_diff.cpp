@@ -1,0 +1,284 @@
+#include "api/report_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ber::api {
+
+namespace {
+
+// Walks a dotted path ("serve.timeline.summary.attainment") through nested
+// objects. Returns nullptr when any segment is absent or not an object.
+const Json* lookup(const Json& root, const std::string& path) {
+  const Json* cur = &root;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    const std::size_t dot = path.find('.', pos);
+    const std::string key = path.substr(pos, dot == std::string::npos
+                                                 ? std::string::npos
+                                                 : dot - pos);
+    if (!cur->is_object()) return nullptr;
+    cur = cur->find(key);
+    if (!cur) return nullptr;
+    if (dot == std::string::npos) break;
+    pos = dot + 1;
+  }
+  return cur;
+}
+
+class Differ {
+ public:
+  Differ(const Json& baseline, const Json& current, DiffResult& out)
+      : base_(baseline), cur_(current), out_(out) {}
+
+  // Numeric rule: fires when `current > baseline + tol` (higher-is-worse
+  // fields: error rates, latency, shed counts). Missing on the baseline
+  // side skips the check (older baselines may predate the field); missing
+  // on the current side is itself a hard finding — a report that lost a
+  // gated field must not pass by omission.
+  void worse_if_above(const std::string& path, double tol,
+                      const std::string& severity, const std::string& note) {
+    double b, c;
+    if (!both(path, severity, b, c)) return;
+    ++out_.checks;
+    if (c > b + tol) add(path, severity, b, c, note);
+  }
+
+  // Fires when `current < baseline - tol` (higher-is-better fields:
+  // attainment, budget).
+  void worse_if_below(const std::string& path, double tol,
+                      const std::string& severity, const std::string& note) {
+    double b, c;
+    if (!both(path, severity, b, c)) return;
+    ++out_.checks;
+    if (c < b - tol) add(path, severity, b, c, note);
+  }
+
+  // Fires on |current - baseline| > tol (deterministic outputs that should
+  // not move at all: offered request counts, energy model results).
+  void worse_if_moved(const std::string& path, double tol,
+                      const std::string& severity, const std::string& note) {
+    double b, c;
+    if (!both(path, severity, b, c)) return;
+    ++out_.checks;
+    if (std::fabs(c - b) > tol) add(path, severity, b, c, note);
+  }
+
+  // Boolean rule: fires on a true -> false flip (feasible, slo_met).
+  void worse_if_flipped(const std::string& path, const std::string& severity,
+                        const std::string& note) {
+    const Json* b = lookup(base_, path);
+    const Json* c = lookup(cur_, path);
+    if (!b || !b->is_bool()) return;
+    if (!c || !c->is_bool()) {
+      add(path, severity, 1.0, 0.0, "field missing in current report");
+      return;
+    }
+    ++out_.checks;
+    if (b->as_bool() && !c->as_bool()) {
+      add(path, severity, 1.0, 0.0, note);
+    }
+  }
+
+  // Latency-vs-SLO rule: hard only when the quantile crossed the SLO bound
+  // it used to meet (machine-independent verdict); growth under the bound
+  // is a warn past 2x + slack.
+  void latency(const std::string& path, double slo_bound_us) {
+    double b, c;
+    if (!both(path, "hard", b, c)) return;
+    ++out_.checks;
+    if (b <= slo_bound_us && c > slo_bound_us) {
+      add(path, "hard", b, c, "latency crossed the SLO bound it met before");
+    } else if (c > 2.0 * b + 1000.0) {
+      add(path, "warn", b, c, "latency more than doubled vs baseline");
+    }
+  }
+
+ private:
+  bool both(const std::string& path, const std::string& severity, double& b,
+            double& c) {
+    const Json* bj = lookup(base_, path);
+    const Json* cj = lookup(cur_, path);
+    if (!bj || !bj->is_number()) return false;
+    if (!cj || !cj->is_number()) {
+      add(path, severity, bj->as_number(), 0.0,
+          "field missing in current report");
+      return false;
+    }
+    b = bj->as_number();
+    c = cj->as_number();
+    return true;
+  }
+
+  void add(const std::string& path, const std::string& severity, double b,
+           double c, const std::string& note) {
+    DiffFinding f{path, severity, b, c, note};
+    if (severity == "hard") {
+      out_.regressions.push_back(std::move(f));
+    } else {
+      out_.warnings.push_back(std::move(f));
+    }
+  }
+
+  const Json& base_;
+  const Json& cur_;
+  DiffResult& out_;
+};
+
+void diff_serve(Differ& d, const Json& baseline) {
+  // SLO scoreboard summary — the load-test verdict. Attainment and shed
+  // are the ISSUE-mandated hard gates.
+  d.worse_if_below("serve.timeline.summary.attainment", 0.02, "hard",
+                   "SLO attainment dropped");
+  d.worse_if_above("serve.timeline.summary.shed", 0.0, "hard",
+                   "requests were shed that the baseline served");
+  d.worse_if_flipped("serve.timeline.summary.slo_met", "hard",
+                     "run-level SLO verdict flipped to violated");
+  d.worse_if_above("serve.timeline.summary.windows_violated", 0.0, "warn",
+                   "more SLO-violating windows than baseline");
+  d.worse_if_below("serve.timeline.summary.budget_remaining", 0.10, "warn",
+                   "error budget burned faster than baseline");
+
+  double slo_bound = 0.0;
+  if (const Json* b = lookup(baseline, "serve.timeline.slo.latency_us")) {
+    if (b->is_number()) slo_bound = b->as_number();
+  }
+  if (slo_bound > 0.0) {
+    d.latency("serve.timeline.summary.p50_us", slo_bound);
+    d.latency("serve.timeline.summary.p99_us", slo_bound);
+    d.latency("serve.timeline.summary.p999_us", slo_bound);
+  }
+  // The offered count is the seeded arrival schedule — identical specs must
+  // produce it bit-identically on any machine.
+  d.worse_if_moved("serve.timeline.summary.offered", 0.0, "hard",
+                   "offered load differs under an identical spec/seed");
+
+  // Accuracy / planner outputs (deterministic eval; generous tolerances
+  // absorb cross-compiler float drift).
+  d.worse_if_above("serve.clean_err", 0.02, "hard", "clean error rose");
+  d.worse_if_above("serve.fleet.mean_canary_err", 0.02, "hard",
+                   "fleet canary error rose");
+  d.worse_if_flipped("serve.fleet.slo_ok", "hard",
+                     "fleet accuracy SLO flipped to violated");
+  d.worse_if_flipped("serve.planner.feasible", "hard",
+                     "operating-point plan flipped to infeasible");
+  d.worse_if_moved("serve.planner.chosen_v", 1e-9, "warn",
+                   "chosen operating voltage moved");
+  d.worse_if_moved("serve.fleet.energy_per_access", 1e-6, "warn",
+                   "fleet energy per access moved");
+
+  // Closed-loop traffic counters (present only when the spec drives them).
+  d.worse_if_above("serve.traffic.rejected", 0.0, "hard",
+                   "traffic rejections exceeded baseline");
+}
+
+}  // namespace
+
+Json DiffFinding::to_json() const {
+  Json j = Json::object();
+  j.set("path", path);
+  j.set("severity", severity);
+  j.set("baseline", baseline);
+  j.set("current", current);
+  j.set("note", note);
+  return j;
+}
+
+Json DiffResult::to_json() const {
+  Json j = Json::object();
+  j.set("comparable", comparable);
+  if (!comparable) j.set("incomparable_reason", incomparable_reason);
+  j.set("ok", ok());
+  j.set("checks", checks);
+  Json rs = Json::array();
+  for (const DiffFinding& f : regressions) rs.push_back(f.to_json());
+  j.set("regressions", std::move(rs));
+  Json ws = Json::array();
+  for (const DiffFinding& f : warnings) ws.push_back(f.to_json());
+  j.set("warnings", std::move(ws));
+  return j;
+}
+
+std::string DiffResult::summary() const {
+  std::ostringstream os;
+  if (!comparable) {
+    os << "baseline diff: INCOMPARABLE — " << incomparable_reason << "\n";
+    return os.str();
+  }
+  os << "baseline diff: " << (ok() ? "PASS" : "FAIL") << " (" << checks
+     << " checks, " << regressions.size() << " regressions, "
+     << warnings.size() << " warnings)\n";
+  for (const DiffFinding& f : regressions) {
+    os << "  FAIL " << f.path << ": " << f.baseline << " -> " << f.current
+       << " (" << f.note << ")\n";
+  }
+  for (const DiffFinding& f : warnings) {
+    os << "  warn " << f.path << ": " << f.baseline << " -> " << f.current
+       << " (" << f.note << ")\n";
+  }
+  return os.str();
+}
+
+DiffResult diff_reports(const Json& baseline, const Json& current) {
+  DiffResult r;
+  const Json* bs = baseline.is_object() ? baseline.find("spec") : nullptr;
+  const Json* cs = current.is_object() ? current.find("spec") : nullptr;
+  if (!bs || !baseline.find("kind")) {
+    throw JsonError("baseline is not a ber_run report (no spec/kind)");
+  }
+  if (!cs || !current.find("kind")) {
+    throw JsonError("current is not a ber_run report (no spec/kind)");
+  }
+  if (baseline.at("kind").as_string() != current.at("kind").as_string()) {
+    r.comparable = false;
+    r.incomparable_reason =
+        "report kinds differ (" + baseline.at("kind").as_string() + " vs " +
+        current.at("kind").as_string() + ")";
+    return r;
+  }
+  // Reports embed the fully-normalized spec; normalization makes this an
+  // exact equality question, not a fuzzy one. Any difference means the two
+  // runs answered different questions.
+  if (!(*bs == *cs)) {
+    r.comparable = false;
+    r.incomparable_reason =
+        "specs differ — the baseline was produced by a different experiment; "
+        "regenerate it from the current config";
+    return r;
+  }
+
+  Differ d(baseline, current, r);
+  if (baseline.at("kind").as_string() == "serve") {
+    diff_serve(d, baseline);
+  } else {
+    // Robustness reports: sweep errors must not rise. Model lists share
+    // order under an identical spec.
+    const Json* bm = baseline.find("models");
+    const Json* cm = current.find("models");
+    if (bm && cm && bm->is_array() && cm->is_array()) {
+      const std::size_t n = std::min(bm->size(), cm->size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const Json& b = (*bm)[i];
+        const Json& c = (*cm)[i];
+        Differ md(b, c, r);
+        const std::string where = "models[" + std::to_string(i) + "]";
+        md.worse_if_above("clean_err", 0.02, "hard",
+                          where + ": clean error rose");
+        const Json* bp = b.find("points");
+        const Json* cp = c.find("points");
+        if (!bp || !cp || !bp->is_array() || !cp->is_array()) continue;
+        const std::size_t np = std::min(bp->size(), cp->size());
+        for (std::size_t k = 0; k < np; ++k) {
+          Differ pd((*bp)[k], (*cp)[k], r);
+          pd.worse_if_above(
+              "rerr_mean", 0.02, "hard",
+              where + ".points[" + std::to_string(k) + "]: rerr rose");
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ber::api

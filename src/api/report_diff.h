@@ -1,0 +1,61 @@
+// Structural report diffing: compare a fresh Report JSON against a
+// checked-in baseline and decide "regression or not" with per-field
+// tolerance rules instead of a byte compare (reports carry timings and
+// latency quantiles that legitimately wobble across machines).
+//
+// Comparability gate: every report embeds its fully-normalized spec
+// (Report::to_json sets "spec"), and two reports are only comparable when
+// those specs are identical — a diff across different scenarios is a
+// category error, reported as `comparable = false`, never as a pass.
+//
+// Rule severities:
+//   hard — a regression; DiffResult::ok() is false and ber_run --baseline
+//          exits nonzero. Hard rules are the machine-independent verdicts:
+//          SLO attainment dropped, shed appeared, a latency quantile
+//          crossed the SLO bound it used to meet, canary error rose,
+//          deterministic planner outputs moved.
+//   warn — drifted beyond tolerance but machine-dependent (raw latency
+//          microseconds, energy); surfaced in the summary, does not fail.
+//
+// Used by `ber_run --baseline old.json` (tools/ber_run.cpp) and gated in
+// CI against artifacts/baseline_serving.json.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace ber::api {
+
+// One evaluated comparison that exceeded its tolerance.
+struct DiffFinding {
+  std::string path;      // dotted path into the report JSON
+  std::string severity;  // "hard" | "warn"
+  double baseline = 0.0;
+  double current = 0.0;
+  std::string note;      // the rule that fired, human-readable
+
+  Json to_json() const;
+};
+
+struct DiffResult {
+  bool comparable = true;
+  std::string incomparable_reason;  // set when !comparable
+  long checks = 0;                  // comparisons evaluated
+  std::vector<DiffFinding> regressions;  // severity "hard"
+  std::vector<DiffFinding> warnings;     // severity "warn"
+
+  // Pass verdict: comparable and no hard regressions (warnings allowed).
+  bool ok() const { return comparable && regressions.empty(); }
+  Json to_json() const;
+  // Multi-line human-readable verdict for the CLI.
+  std::string summary() const;
+};
+
+// Diffs two Report::to_json() documents (baseline first). Throws JsonError
+// only on documents that are not reports at all (missing "spec"/"kind");
+// spec mismatch and kind mismatch come back as comparable = false.
+DiffResult diff_reports(const Json& baseline, const Json& current);
+
+}  // namespace ber::api

@@ -178,6 +178,97 @@ Json eval_to_json(const EvalSection& e) {
   return j;
 }
 
+ArrivalPhase phase_from_json(const Json& j, const std::string& where) {
+  ParamReader p(where, j);
+  ArrivalPhase a;
+  a.process = p.str("process", a.process);
+  a.rate_rps = p.number("rate_rps", a.rate_rps);
+  a.duration_s = p.number("duration_s", a.duration_s);
+  a.period_s = p.number("period_s", a.period_s);
+  a.amplitude = p.number("amplitude", a.amplitude);
+  a.mean_on_s = p.number("mean_on_s", a.mean_on_s);
+  a.mean_off_s = p.number("mean_off_s", a.mean_off_s);
+  p.finish();
+  if (a.process != "poisson" && a.process != "diurnal" &&
+      a.process != "bursty") {
+    p.fail("\"process\" must be poisson, diurnal or bursty (got \"" +
+           a.process + "\")");
+  }
+  if (a.rate_rps <= 0.0 || a.duration_s <= 0.0) {
+    p.fail("\"rate_rps\" and \"duration_s\" must be > 0");
+  }
+  if (a.process == "diurnal" &&
+      (a.period_s <= 0.0 || a.amplitude < 0.0 || a.amplitude >= 1.0)) {
+    p.fail("diurnal needs \"period_s\" > 0 and \"amplitude\" in [0, 1)");
+  }
+  if (a.process == "bursty" && (a.mean_on_s <= 0.0 || a.mean_off_s <= 0.0)) {
+    p.fail("bursty needs \"mean_on_s\" and \"mean_off_s\" > 0");
+  }
+  return a;
+}
+
+Json phase_to_json(const ArrivalPhase& a) {
+  Json j = Json::object();
+  j.set("process", a.process);
+  j.set("rate_rps", a.rate_rps);
+  j.set("duration_s", a.duration_s);
+  // Only the parameters the process actually reads — the normalized form
+  // must not carry dead knobs.
+  if (a.process == "diurnal") {
+    j.set("period_s", a.period_s);
+    j.set("amplitude", a.amplitude);
+  } else if (a.process == "bursty") {
+    j.set("mean_on_s", a.mean_on_s);
+    j.set("mean_off_s", a.mean_off_s);
+  }
+  return j;
+}
+
+TrafficConfig traffic_from_json(const Json& j) {
+  ParamReader p("serve.traffic", j);
+  TrafficConfig t;
+  t.seed = static_cast<std::uint64_t>(
+      p.integer("seed", static_cast<long>(t.seed)));
+  t.window_ms = p.integer("window_ms", t.window_ms);
+  const Json& slo = p.raw("slo");
+  if (!slo.is_null()) {
+    ParamReader q("serve.traffic.slo", slo);
+    t.slo.latency_us = q.number("latency_us", t.slo.latency_us);
+    t.slo.attainment = q.number("attainment", t.slo.attainment);
+    q.finish();
+  }
+  const Json& phases = p.raw("phases");
+  if (!phases.is_array() || phases.size() == 0) {
+    p.fail("\"phases\" must be a non-empty array of arrival phases");
+  }
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    t.phases.push_back(phase_from_json(
+        phases[i], "serve.traffic.phases[" + std::to_string(i) + "]"));
+  }
+  p.finish();
+  if (t.window_ms < 1) p.fail("\"window_ms\" must be >= 1");
+  if (t.slo.latency_us <= 0.0) p.fail("slo \"latency_us\" must be > 0");
+  if (t.slo.attainment <= 0.0 || t.slo.attainment >= 1.0) {
+    p.fail("slo \"attainment\" must be in (0, 1) — 1.0 makes the error "
+           "budget zero and every burn rate infinite");
+  }
+  return t;
+}
+
+Json traffic_to_json(const TrafficConfig& t) {
+  Json j = Json::object();
+  j.set("seed", t.seed);
+  j.set("window_ms", t.window_ms);
+  Json slo = Json::object();
+  slo.set("latency_us", t.slo.latency_us);
+  slo.set("attainment", t.slo.attainment);
+  j.set("slo", std::move(slo));
+  Json phases = Json::array();
+  for (const ArrivalPhase& a : t.phases) phases.push_back(phase_to_json(a));
+  j.set("phases", std::move(phases));
+  return j;
+}
+
 ServeSection serve_from_json(const Json& j) {
   ParamReader p("serve", j);
   ServeSection s;
@@ -203,12 +294,18 @@ ServeSection serve_from_json(const Json& j) {
     q.finish();
   }
   s.requests = p.integer("requests", s.requests);
+  const Json& traffic = p.raw("traffic");
+  if (!traffic.is_null()) s.traffic = traffic_from_json(traffic);
   p.finish();
   if (s.n_chips < 1 || s.replicas < 1) {
     p.fail("\"n_chips\" and \"replicas\" must be >= 1");
   }
   if (s.canary_subset < 0 || s.requests < 0) {
     p.fail("\"canary_subset\" and \"requests\" must be >= 0");
+  }
+  if (s.traffic.enabled() && s.requests > 0) {
+    p.fail("give \"traffic\" (open-loop) or \"requests\" (closed-loop burst),"
+           " not both");
   }
   return s;
 }
@@ -234,6 +331,7 @@ Json serve_to_json(const ServeSection& s) {
   }
   j.set("queue", q);
   if (s.requests > 0) j.set("requests", s.requests);
+  if (s.traffic.enabled()) j.set("traffic", traffic_to_json(s.traffic));
   return j;
 }
 
@@ -449,6 +547,38 @@ void ExperimentSpec::validate() const {
     for (std::size_t i = 1; i < serve.voltages.size(); ++i) {
       if (serve.voltages[i] >= serve.voltages[i - 1]) {
         fail("serve.voltages must be strictly descending");
+      }
+    }
+    // Builder-made specs skip the JSON readers; re-check the open-loop
+    // traffic shape here so Experiment::serve() failures are actionable.
+    const TrafficConfig& t = serve.traffic;
+    if (t.enabled()) {
+      if (serve.requests > 0) {
+        fail("serve.traffic and serve.requests are mutually exclusive");
+      }
+      if (t.window_ms < 1) fail("serve.traffic.window_ms must be >= 1");
+      if (t.slo.latency_us <= 0.0 || t.slo.attainment <= 0.0 ||
+          t.slo.attainment >= 1.0) {
+        fail("serve.traffic.slo needs latency_us > 0 and attainment in "
+             "(0, 1)");
+      }
+      for (const ArrivalPhase& a : t.phases) {
+        if (a.process != "poisson" && a.process != "diurnal" &&
+            a.process != "bursty") {
+          fail("serve.traffic phase process \"" + a.process +
+               "\" unknown (poisson, diurnal, bursty)");
+        }
+        if (a.rate_rps <= 0.0 || a.duration_s <= 0.0) {
+          fail("serve.traffic phases need rate_rps and duration_s > 0");
+        }
+        if (a.process == "diurnal" &&
+            (a.period_s <= 0.0 || a.amplitude < 0.0 || a.amplitude >= 1.0)) {
+          fail("diurnal phase needs period_s > 0 and amplitude in [0, 1)");
+        }
+        if (a.process == "bursty" &&
+            (a.mean_on_s <= 0.0 || a.mean_off_s <= 0.0)) {
+          fail("bursty phase needs mean_on_s and mean_off_s > 0");
+        }
       }
     }
   }

@@ -26,6 +26,7 @@
 #include "models/factory.h"
 #include "quant/quantizer.h"
 #include "serve/batch_queue.h"
+#include "serve/traffic_gen.h"
 #include "train/trainer.h"
 
 namespace ber::api {
@@ -97,7 +98,11 @@ struct ServeSection {
   int replicas = 3;     // fleet size
   long canary_subset = 0;  // examples for per-replica canaries (0 = full)
   BatchQueueConfig queue;
-  long requests = 0;    // traffic images pushed through the pool (0 = skip)
+  long requests = 0;    // closed-loop traffic burst (0 = skip)
+  // Open-loop load (serve/traffic_gen.h): arrival-process phases + SLO
+  // scoreboard. Mutually exclusive with `requests` — a spec drives the pool
+  // either closed-loop (the legacy burst) or open-loop, never both.
+  TrafficConfig traffic;
 };
 
 struct ExperimentSpec {

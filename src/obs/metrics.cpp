@@ -131,6 +131,30 @@ double Histogram::Snapshot::quantile(double q) const {
   return static_cast<double>(bucket_upper(buckets.size() - 1));
 }
 
+double Histogram::Snapshot::fraction_le(double v) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 1.0;
+  if (v < 0.0) return 0.0;
+  const std::uint64_t iv = static_cast<std::uint64_t>(
+      std::llround(std::min(v, 9.2e18)));
+  const std::size_t idx = bucket_index(iv);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < idx; ++i) below += buckets[i];
+  double in_bucket = static_cast<double>(buckets[idx]);
+  if (idx >= static_cast<std::size_t>(kSub)) {
+    // Wide bucket: count the straddling bucket's samples proportionally to
+    // how much of it lies at or below v (linear buckets hold one integer
+    // value each, so they are entirely <= v already).
+    const double lo = static_cast<double>(bucket_lower(idx));
+    const double hi = static_cast<double>(bucket_upper(idx));
+    in_bucket *= std::clamp((static_cast<double>(iv) + 1.0 - lo) / (hi - lo),
+                            0.0, 1.0);
+  }
+  return std::min(1.0, (static_cast<double>(below) + in_bucket) /
+                           static_cast<double>(total));
+}
+
 Histogram::Snapshot Histogram::Snapshot::operator-(
     const Snapshot& earlier) const {
   Snapshot d;
@@ -263,6 +287,20 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+// Exposition-format label values escape backslash, double-quote and
+// newline; anything else passes through verbatim.
+std::string prom_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
 std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
                         const std::string& extra_val = "") {
   if (labels.empty() && extra_key == nullptr) return "";
@@ -273,11 +311,11 @@ std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
   for (const auto& [k, v] : sorted) {
     if (!first) out += ",";
     first = false;
-    out += prom_name(k) + "=\"" + v + "\"";
+    out += prom_name(k) + "=\"" + prom_escape(v) + "\"";
   }
   if (extra_key) {
     if (!first) out += ",";
-    out += std::string(extra_key) + "=\"" + extra_val + "\"";
+    out += std::string(extra_key) + "=\"" + prom_escape(extra_val) + "\"";
   }
   out += "}";
   return out;

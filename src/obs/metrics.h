@@ -95,6 +95,10 @@ class Histogram {
     // Quantile by bucket walk + intra-bucket linear interpolation; exact
     // for values < kSub, within one bucket width (<= ~3.2% relative) above.
     double quantile(double q) const;
+    // Fraction of samples <= v (bucket resolution, linear interpolation in
+    // the straddling bucket). 1.0 on an empty snapshot — "no traffic" must
+    // read as "no violations" for SLO attainment, not as a breach.
+    double fraction_le(double v) const;
     double mean() const { return count == 0 ? 0.0 : sum / count; }
     // Windowed stats: the samples recorded since `earlier` was taken.
     Snapshot operator-(const Snapshot& earlier) const;

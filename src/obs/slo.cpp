@@ -1,0 +1,154 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace ber::obs {
+
+namespace {
+
+// Scoreboard registry instruments, shared across scoreboards (a process
+// serves one load run at a time; the gauges carry the latest window).
+struct SloMetrics {
+  Gauge& attainment;
+  Gauge& burn_rate;
+  Gauge& budget_remaining;
+  Counter& windows_total;
+  Counter& windows_violated;
+
+  static SloMetrics& get() {
+    static SloMetrics m{
+        registry().gauge("slo.attainment"),
+        registry().gauge("slo.burn_rate"),
+        registry().gauge("slo.error_budget_remaining"),
+        registry().counter("slo.windows_total"),
+        registry().counter("slo.windows_violated"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Json SloWindow::to_json() const {
+  Json j = Json::object();
+  j.set("t_start_ms", t_start_ms);
+  j.set("t_end_ms", t_end_ms);
+  j.set("phase", phase);
+  j.set("offered", offered);
+  j.set("completed", completed);
+  j.set("shed", shed);
+  j.set("queue_depth", queue_depth);
+  j.set("p50_us", p50_us);
+  j.set("p99_us", p99_us);
+  j.set("p999_us", p999_us);
+  j.set("attainment", attainment);
+  j.set("slo_met", slo_met);
+  j.set("burn_rate", burn_rate);
+  j.set("budget_remaining", budget_remaining);
+  return j;
+}
+
+SloScoreboard::SloScoreboard(SloTarget target, const Histogram& latency_us)
+    : target_(target),
+      latency_(latency_us),
+      last_(latency_us.snapshot()),
+      t0_(last_),
+      t0_ns_(monotonic_ns()),
+      last_ns_(t0_ns_) {
+  (void)SloMetrics::get();  // keys exist (at zero) from the first snapshot
+}
+
+const SloWindow& SloScoreboard::close_window(const std::string& phase,
+                                             std::uint64_t offered,
+                                             std::uint64_t shed,
+                                             long queue_depth) {
+  const std::uint64_t now_ns = monotonic_ns();
+  const Histogram::Snapshot cur = latency_.snapshot();
+  const Histogram::Snapshot delta = cur - last_;
+
+  SloWindow w;
+  w.t_start_ms = static_cast<double>(last_ns_ - t0_ns_) * 1e-6;
+  w.t_end_ms = static_cast<double>(now_ns - t0_ns_) * 1e-6;
+  w.phase = phase;
+  w.offered = offered;
+  w.completed = delta.count;
+  w.shed = shed;
+  w.queue_depth = queue_depth;
+  w.p50_us = delta.quantile(0.50);
+  w.p99_us = delta.quantile(0.99);
+  w.p999_us = delta.quantile(0.999);
+  w.attainment = delta.fraction_le(target_.latency_us);
+  w.slo_met = w.attainment >= target_.attainment && shed == 0;
+  // Burn rate: how fast this window spends the error budget, 1.0 = exactly
+  // the allowed violation rate. Shed arrivals count as violations — a
+  // rejected request certainly did not meet its latency target.
+  const double violations =
+      (1.0 - w.attainment) * static_cast<double>(w.completed) +
+      static_cast<double>(shed);
+  const double served =
+      static_cast<double>(w.completed) + static_cast<double>(shed);
+  const double allowed_frac = 1.0 - target_.attainment;
+  w.burn_rate = served > 0.0 ? (violations / served) / allowed_frac : 0.0;
+
+  cum_offered_ += offered;
+  cum_completed_ += delta.count;
+  cum_shed_ += shed;
+  cum_violations_ += violations;
+  const double cum_served =
+      static_cast<double>(cum_completed_) + static_cast<double>(cum_shed_);
+  const double budget = allowed_frac * cum_served;
+  w.budget_remaining =
+      budget > 0.0 ? 1.0 - cum_violations_ / budget : 1.0;
+
+  SloMetrics& m = SloMetrics::get();
+  m.attainment.set(w.attainment);
+  m.burn_rate.set(w.burn_rate);
+  m.budget_remaining.set(w.budget_remaining);
+  m.windows_total.add(1);
+  if (!w.slo_met) m.windows_violated.add(1);
+
+  last_ = cur;
+  last_ns_ = now_ns;
+  windows_.push_back(std::move(w));
+  return windows_.back();
+}
+
+Json SloScoreboard::to_json() const {
+  Json j = Json::object();
+  Json slo = Json::object();
+  slo.set("latency_us", target_.latency_us);
+  slo.set("attainment", target_.attainment);
+  j.set("slo", std::move(slo));
+
+  Json ws = Json::array();
+  std::uint64_t violated = 0;
+  for (const SloWindow& w : windows_) {
+    ws.push_back(w.to_json());
+    if (!w.slo_met) ++violated;
+  }
+  j.set("windows", std::move(ws));
+
+  // Full-run aggregate: every request completed since construction (NOT the
+  // sum of window quantiles — quantiles do not add; this is the exact
+  // distribution over the union of windows).
+  const Histogram::Snapshot full = latency_.snapshot() - t0_;
+  Json sum = Json::object();
+  sum.set("offered", cum_offered_);
+  sum.set("completed", cum_completed_);
+  sum.set("shed", cum_shed_);
+  const double attainment = full.fraction_le(target_.latency_us);
+  sum.set("attainment", attainment);
+  sum.set("slo_met", attainment >= target_.attainment && cum_shed_ == 0);
+  sum.set("p50_us", full.quantile(0.50));
+  sum.set("p99_us", full.quantile(0.99));
+  sum.set("p999_us", full.quantile(0.999));
+  sum.set("mean_us", full.mean());
+  sum.set("windows", static_cast<std::uint64_t>(windows_.size()));
+  sum.set("windows_violated", violated);
+  sum.set("budget_remaining",
+          windows_.empty() ? 1.0 : windows_.back().budget_remaining);
+  j.set("summary", std::move(sum));
+  return j;
+}
+
+}  // namespace ber::obs

@@ -70,11 +70,19 @@ std::uint64_t trace_now_us() {
   return (now - std::min(t0, now)) / 1000;
 }
 
+// Registry mirror of the drop count — resolved once (the registry lookup
+// is mutex-guarded) and bumped lock-free on the overflow path.
+Counter& dropped_counter() {
+  static Counter& c = registry().counter("trace.events_dropped");
+  return c;
+}
+
 void append_event(TraceEvent ev) {
   ThreadBuf& buf = tls_buf();
   std::lock_guard<std::mutex> lock(buf.mu);
   if (buf.events.size() >= kMaxEventsPerThread) {
     global().dropped.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter().add(1);
     return;
   }
   buf.events.push_back(std::move(ev));
@@ -123,6 +131,7 @@ std::string serialize_args(std::initializer_list<TraceArg> args) {
 }  // namespace
 
 void start_tracing() {
+  (void)dropped_counter();  // key exists (at 0) in every traced snapshot
   Global& g = global();
   {
     std::lock_guard<std::mutex> lock(g.mu);
@@ -143,6 +152,8 @@ void stop_tracing() {
 std::uint64_t trace_events_dropped() {
   return global().dropped.load(std::memory_order_relaxed);
 }
+
+std::size_t trace_events_capacity() { return kMaxEventsPerThread; }
 
 void set_thread_name(const std::string& name) {
   if (!tracing_enabled()) return;

@@ -55,8 +55,15 @@ Json trace_json();
 // Writes trace_json() to `path` (pretty-printed). Throws on I/O failure.
 void write_trace(const std::string& path);
 
-// Spans recorded but discarded because a thread buffer was full.
+// Spans recorded but discarded because a thread buffer was full. Resets
+// with start_tracing(); the cumulative process-wide count is additionally
+// mirrored into the registry counter "trace.events_dropped", so a long
+// traffic run with tracing on surfaces its truncation in every metrics
+// snapshot instead of growing memory without bound.
 std::uint64_t trace_events_dropped();
+
+// The per-thread event-buffer bound (events beyond it are dropped).
+std::size_t trace_events_capacity();
 
 // Names the calling thread in the trace (chrome "thread_name" metadata).
 // Cheap no-op when tracing is off.

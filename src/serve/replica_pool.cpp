@@ -140,11 +140,17 @@ void ReplicaPool::worker(std::size_t i) {
               static_cast<int>(pred), probs.at(row + k, pred)};
         }
         row += req.n_images;
+        const double lat_us =
+            std::chrono::duration<double, std::micro>(done - req.enqueued)
+                .count();
+        // Record BEFORE fulfilling the promise: anyone who observes the
+        // future ready (the SLO scoreboard closes windows on exactly that)
+        // must also find the sample in the histogram.
+        latency_hist_.record(lat_us);
+        metrics.latency_us.record(lat_us);
+        latencies.push_back(lat_us);
         req.promise.set_value(std::move(out));
         ++fulfilled;
-        latencies.push_back(
-            std::chrono::duration<double, std::micro>(done - req.enqueued)
-                .count());
       }
     } catch (...) {
       // A bad request (e.g. an input the model cannot forward) must fail
@@ -159,10 +165,6 @@ void ReplicaPool::worker(std::size_t i) {
     metrics.requests.add(latencies.size());
     metrics.images.add(static_cast<std::uint64_t>(wb.total_images));
     metrics.batches.add(1);
-    for (double l : latencies) {
-      latency_hist_.record(l);
-      metrics.latency_us.record(l);
-    }
 
     long batches_served;
     {

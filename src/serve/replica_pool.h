@@ -82,6 +82,12 @@ class ReplicaPool {
   std::size_t size() const { return replicas_.size(); }
   Replica& replica(std::size_t i) { return replicas_[i]; }
 
+  // The pool-level latency distribution (submit -> fulfilled, us) — the
+  // histogram the SLO scoreboard windows over.
+  const obs::Histogram& latency_histogram() const { return latency_hist_; }
+  // Live queued-but-unserved image backlog.
+  long queue_depth_images() const { return queue_.depth_images(); }
+
  private:
   void worker(std::size_t i);
 

@@ -1,0 +1,99 @@
+// Open-loop traffic generation for the serving runtime.
+//
+// The closed-loop microbench (submit, wait, submit) can never observe
+// queueing delay: its arrival rate adapts to the service rate, so latency
+// claims made under it are unfalsifiable. This generator is open-loop in
+// the serving-literature sense (Clockwork, OSDI 2020): arrival times come
+// from a precomputed schedule on the generator's own clock, requests are
+// submitted at their scheduled instant whether or not earlier ones have
+// completed, and an admission rejection sheds the request instead of
+// retrying — so queue depth, tail latency and shed counts are properties
+// of the system under test, not of the client.
+//
+// Three arrival processes, all deterministic functions of (phase, seed):
+//   poisson  — homogeneous Poisson: i.i.d. exponential inter-arrivals at
+//              rate_rps;
+//   diurnal  — inhomogeneous Poisson with a sinusoidal rate
+//              rate(t) = rate_rps * (1 + amplitude * sin(2*pi*t/period_s)),
+//              sampled by Lewis-Shedler thinning — a compressed day/night
+//              load curve;
+//   bursty   — Markov-modulated on/off (exponential sojourns mean_on_s /
+//              mean_off_s): silent in OFF, Poisson in ON at a rate scaled
+//              so the long-run mean stays rate_rps — the flash-crowd /
+//              antagonist-tenant shape.
+//
+// arrival_schedule() materializes the whole schedule up front as
+// microsecond offsets (pure function of its arguments: bit-reproducible
+// for a fixed seed regardless of thread count — pinned in
+// tests/test_traffic.cpp). A run chains phases back to back through one
+// ReplicaPool and closes SLO-scoreboard windows (obs/slo.h) on the wire
+// clock, so the emitted timeline interleaves offered load, completions,
+// shed and queue depth per window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "obs/slo.h"
+
+namespace ber {
+
+struct Dataset;
+class ReplicaPool;
+
+// One segment of offered load.
+struct ArrivalPhase {
+  std::string process = "poisson";  // poisson | diurnal | bursty
+  double rate_rps = 100.0;          // long-run mean arrival rate
+  double duration_s = 1.0;
+  // diurnal only:
+  double period_s = 1.0;
+  double amplitude = 0.5;  // in [0, 1)
+  // bursty only (ON-state rate is derived so the mean stays rate_rps):
+  double mean_on_s = 0.1;
+  double mean_off_s = 0.1;
+};
+
+struct TrafficConfig {
+  std::vector<ArrivalPhase> phases;  // run back to back
+  std::uint64_t seed = 1;
+  long window_ms = 250;  // SLO scoreboard window
+  obs::SloTarget slo;
+
+  bool enabled() const { return !phases.empty(); }
+};
+
+// The phase's arrival instants as microsecond offsets from phase start,
+// strictly within [0, duration_s). Sorted. Deterministic in (phase, seed).
+std::vector<std::uint64_t> arrival_schedule(const ArrivalPhase& phase,
+                                            std::uint64_t seed);
+
+struct TrafficResult {
+  std::uint64_t offered = 0;   // scheduled arrivals submitted or shed
+  std::uint64_t shed = 0;      // rejected by admission control (no retry)
+  std::uint64_t answered = 0;  // predictions received
+  double duration_s = 0.0;     // wall clock, first arrival to last answer
+  Json timeline;               // SloScoreboard::to_json()
+};
+
+// Drives one TrafficConfig through a ReplicaPool: submits single images
+// from `data` (cycling) at the scheduled instants, never waiting on
+// completions, and closes scoreboard windows as their boundaries pass.
+// run() returns once every accepted request has answered; the pool is left
+// un-drained (canaries still need it).
+class TrafficGenerator {
+ public:
+  // `pool` and `data` must outlive the generator.
+  TrafficGenerator(ReplicaPool& pool, const Dataset& data, TrafficConfig cfg);
+
+  TrafficResult run();
+
+ private:
+  ReplicaPool& pool_;
+  const Dataset& data_;
+  TrafficConfig cfg_;
+};
+
+}  // namespace ber

@@ -328,4 +328,130 @@ TEST(ObsKernels, ArenaHighWaterGaugeTracksCapacity) {
   EXPECT_DOUBLE_EQ(g.value(), before);
 }
 
+// ------------------------------------------------------- SLO primitives ---
+
+TEST(ObsHistogram, FractionLeMatchesExactCounts) {
+  // Empty snapshot: no traffic reads as no violations (attainment 1.0),
+  // never as a breach.
+  EXPECT_DOUBLE_EQ(Histogram().snapshot().fraction_le(100.0), 1.0);
+
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.fraction_le(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_le(1e12), 1.0);
+  for (const double v : {10.0, 100.0, 500.0, 900.0}) {
+    // Exact fraction is v/1000; bucket resolution is <= ~3.2% relative.
+    EXPECT_NEAR(s.fraction_le(v), v / 1000.0, 0.04) << "v=" << v;
+  }
+  // Monotone in v.
+  double prev = 0.0;
+  for (double v = 0.0; v <= 1100.0; v += 7.0) {
+    const double f = s.fraction_le(v);
+    EXPECT_GE(f, prev) << "v=" << v;
+    prev = f;
+  }
+}
+
+// The satellite contract behind the SLO scoreboard's windowing: two
+// consecutive snapshot deltas must sum — bucket by bucket — to the delta
+// over the whole run, so no completion is counted twice or lost at a
+// window boundary.
+TEST(ObsHistogram, ConsecutiveWindowDeltasSumToFullRun) {
+  std::mt19937 rng(11);
+  std::lognormal_distribution<double> dist(5.0, 1.0);
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.record(std::round(dist(rng)));  // pre-run
+  const Histogram::Snapshot t0 = h.snapshot();
+  for (int i = 0; i < 2000; ++i) h.record(std::round(dist(rng)));
+  const Histogram::Snapshot s1 = h.snapshot();
+  for (int i = 0; i < 3000; ++i) h.record(std::round(dist(rng)));
+  const Histogram::Snapshot s2 = h.snapshot();
+
+  const Histogram::Snapshot w1 = s1 - t0;
+  const Histogram::Snapshot w2 = s2 - s1;
+  const Histogram::Snapshot full = s2 - t0;
+  EXPECT_EQ(w1.count + w2.count, full.count);
+  EXPECT_NEAR(w1.sum + w2.sum, full.sum, 1e-6 * full.sum);
+  ASSERT_EQ(w1.buckets.size(), full.buckets.size());
+  for (std::size_t i = 0; i < full.buckets.size(); ++i) {
+    ASSERT_EQ(w1.buckets[i] + w2.buckets[i], full.buckets[i]) << "i=" << i;
+  }
+}
+
+TEST(ObsSlo, ScoreboardWindowsAndBudgetMath) {
+  Histogram lat;
+  lat.record(1.0);  // pre-scoreboard sample must stay out of the timeline
+  obs::SloScoreboard board({1000.0, 0.9}, lat);
+
+  // Window 1: 10 fast requests, all within the 1000us bound.
+  for (int i = 0; i < 10; ++i) lat.record(100.0);
+  const obs::SloWindow& w1 = board.close_window("steady", 10, 0, 0);
+  EXPECT_EQ(w1.completed, 10u);
+  EXPECT_DOUBLE_EQ(w1.attainment, 1.0);
+  EXPECT_TRUE(w1.slo_met);
+  EXPECT_DOUBLE_EQ(w1.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(w1.budget_remaining, 1.0);
+
+  // Window 2: half the requests blow the bound — attainment 0.5, burn rate
+  // (1 - 0.5) / (1 - 0.9) = 5x.
+  for (int i = 0; i < 5; ++i) lat.record(100.0);
+  for (int i = 0; i < 5; ++i) lat.record(100000.0);
+  const obs::SloWindow& w2 = board.close_window("burst", 10, 0, 3);
+  EXPECT_EQ(w2.completed, 10u);
+  EXPECT_NEAR(w2.attainment, 0.5, 0.05);
+  EXPECT_FALSE(w2.slo_met);
+  EXPECT_NEAR(w2.burn_rate, 5.0, 0.5);
+  EXPECT_EQ(w2.queue_depth, 3);
+  // Cumulative: ~5 violations vs a budget of 0.1 * 20 = 2 — overdrawn.
+  EXPECT_LT(w2.budget_remaining, 0.0);
+
+  // Shed counts as violation even with a healthy latency distribution.
+  for (int i = 0; i < 10; ++i) lat.record(100.0);
+  const obs::SloWindow& w3 = board.close_window("shedding", 12, 2, 0);
+  EXPECT_FALSE(w3.slo_met);
+  EXPECT_GT(w3.burn_rate, 1.0);
+
+  const Json j = board.to_json();
+  EXPECT_EQ(j.at("windows").size(), 3u);
+  // The pre-scoreboard sample is excluded: 30 completions, not 31.
+  EXPECT_EQ(j.at("summary").at("completed").as_int(), 30);
+  EXPECT_EQ(j.at("summary").at("offered").as_int(), 32);
+  EXPECT_EQ(j.at("summary").at("shed").as_int(), 2);
+  EXPECT_EQ(j.at("summary").at("windows_violated").as_int(), 2);
+  EXPECT_FALSE(j.at("summary").at("slo_met").as_bool());
+}
+
+TEST(ObsRegistry, PrometheusEscapesLabelValues) {
+  obs::registry()
+      .counter("test_obs.esc", {{"path", "say \"hi\"\\dir\nend"}})
+      .add(1);
+  const std::string prom = obs::registry().to_prometheus();
+  EXPECT_NE(prom.find("path=\"say \\\"hi\\\"\\\\dir\\nend\""),
+            std::string::npos)
+      << prom;
+  // The raw control characters must be gone from the exposition line.
+  EXPECT_EQ(prom.find("say \"hi\""), std::string::npos);
+}
+
+TEST(ObsTrace, BoundedBufferDropsAndCounts) {
+  obs::start_tracing();
+  const std::uint64_t ctr0 =
+      obs::registry().counter("trace.events_dropped").value();
+  const std::size_t cap = obs::trace_events_capacity();
+  const std::size_t overflow = 100;
+  for (std::size_t i = 0; i < cap + overflow; ++i) {
+    BER_TRACE_INSTANT("testcat", "flood");
+  }
+  obs::stop_tracing();
+  // start_tracing cleared this thread's buffer, so exactly the events past
+  // capacity drop; the registry counter mirrors them.
+  EXPECT_EQ(obs::trace_events_dropped(), overflow);
+  EXPECT_EQ(obs::registry().counter("trace.events_dropped").value(),
+            ctr0 + overflow);
+  obs::start_tracing();  // re-base so later tests see an empty buffer
+  obs::stop_tracing();
+  EXPECT_EQ(obs::trace_events_dropped(), 0u);
+}
+
 }  // namespace

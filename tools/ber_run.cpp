@@ -7,6 +7,14 @@
 //   ber_run --list                          # registry names a spec can use
 //   ber_run --metrics-out m.json configs/... # obs registry snapshot to file
 //   ber_run --trace-out t.json configs/...   # chrome://tracing trace to file
+//   ber_run --baseline old.json configs/x.json  # run + regression-diff
+//   ber_run --baseline old.json --report new.json  # diff two reports, no run
+//
+// --baseline compares the fresh report against a previous run of the SAME
+// spec (api/report_diff.h): incomparable specs or hard regressions (SLO
+// attainment drop, new shed, a latency quantile crossing the SLO bound)
+// exit 3 — the CI gate. With --report the diff runs on an existing report
+// file instead of executing the spec.
 //
 // Multiple spec files run in order; with --out, report files are suffixed
 // by the experiment name when more than one spec is given. Robustness
@@ -29,10 +37,34 @@ using namespace ber;
 int usage() {
   std::fprintf(stderr,
                "usage: ber_run [--out FILE] [--metrics-out FILE] "
-               "[--trace-out FILE] [--table] [--print-spec] "
-               "SPEC.json [SPEC.json ...]\n"
+               "[--trace-out FILE] [--baseline FILE] [--table] "
+               "[--print-spec] SPEC.json [SPEC.json ...]\n"
+               "       ber_run --baseline FILE --report REPORT.json\n"
                "       ber_run --list\n");
   return 2;
+}
+
+// Diff a report against the baseline file: prints the verdict, writes the
+// structured diff next to stderr diagnostics. 0 = pass, 3 = regression or
+// incomparable (distinct from 1 = execution error, 2 = usage).
+int run_baseline_diff(const std::string& baseline_path, const Json& current) {
+  Json baseline;
+  try {
+    baseline = Json::parse_file(baseline_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ber_run: %s: %s\n", baseline_path.c_str(), e.what());
+    return 1;
+  }
+  api::DiffResult diff;
+  try {
+    diff = api::diff_reports(baseline, current);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ber_run: baseline diff: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "[ber_run] %s", diff.summary().c_str());
+  std::printf("%s\n", diff.to_json().dump(2).c_str());
+  return diff.ok() ? 0 : 3;
 }
 
 void list_registries() {
@@ -89,6 +121,7 @@ void print_table(const api::Report& report) {
 
 int main(int argc, char** argv) {
   std::string out_path, metrics_path, trace_path;
+  std::string baseline_path, report_path;
   bool table = false, print_spec = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -109,16 +142,39 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       if (++i >= argc) return usage();
       trace_path = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage();
+      baseline_path = argv[i];
+    } else if (arg == "--report") {
+      if (++i >= argc) return usage();
+      report_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
       files.push_back(arg);
     }
   }
+  if (!report_path.empty()) {
+    // Diff-only mode: compare an existing report against the baseline
+    // without executing anything.
+    if (baseline_path.empty() || !files.empty()) return usage();
+    Json current;
+    try {
+      current = Json::parse_file(report_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ber_run: %s: %s\n", report_path.c_str(), e.what());
+      return 1;
+    }
+    return run_baseline_diff(baseline_path, current);
+  }
   if (files.empty()) return usage();
+  // A baseline pins one spec; "which report regressed?" must be
+  // unambiguous.
+  if (!baseline_path.empty() && files.size() != 1) return usage();
   if (!trace_path.empty()) obs::start_tracing();
 
   std::set<std::string> written;
+  Json last_report;  // for --baseline (single spec enforced above)
   for (const std::string& file : files) {
     api::ExperimentSpec spec;
     try {
@@ -141,7 +197,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ber_run: %s: %s\n", file.c_str(), e.what());
       return 1;
     }
-    const std::string text = report.to_json().dump(2);
+    last_report = report.to_json();
+    const std::string text = last_report.dump(2);
     if (out_path.empty()) {
       std::printf("%s\n", text.c_str());
     } else {
@@ -188,6 +245,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "[ber_run] trace written to %s\n", trace_path.c_str());
+  }
+  if (!baseline_path.empty() && !print_spec) {
+    return run_baseline_diff(baseline_path, last_report);
   }
   return 0;
 }
