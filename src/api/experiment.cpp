@@ -16,6 +16,7 @@
 #include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
 #include "kernels/backend.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
@@ -116,6 +117,7 @@ Json Report::to_json() const {
       points.push_back(robust_result_json(pt.x, m.axis, pt.result));
     }
     mj.set("points", std::move(points));
+    if (!m.forensics.is_null()) mj.set("forensics", m.forensics);
     ms.push_back(std::move(mj));
   }
   j.set("models", std::move(ms));
@@ -256,6 +258,28 @@ Report Runner::run_robustness() {
     ctx.n_trials = n;
     if (!float_space) ctx.layout = &evaluator->snapshot();
 
+    // Opt-in fault forensics: a fresh ledger per model (sweeps accumulate
+    // across points, models don't mix), probes prepared against the same
+    // deployment mode the trials use, and the words_patched counter
+    // bracketed so the report can reconcile ledger totals against it.
+    // validate() already rejects forensics for float-space faults.
+    const ForensicsSection& fx = e.forensics;
+    const bool do_forensics = fx.enabled && !float_space;
+    std::unique_ptr<obs::ForensicsCollector> collector;
+    std::uint64_t words_before = 0;
+    if (do_forensics) {
+      obs::fault_ledger().clear();
+      obs::fault_ledger().set_enabled(true);
+      obs::ForensicsOptions fo;
+      fo.probe_images = fx.probe_images;
+      fo.divergence_threshold = fx.threshold;
+      collector = std::make_unique<obs::ForensicsCollector>(fo);
+      collector->prepare_probes(*rm.model, evaluator->snapshot(),
+                                evaluator->compute_on_codes(), *rm.eval_set);
+      evaluator->set_forensics(collector.get(), "eval");
+      words_before = obs::registry().counter("faults.words_patched").value();
+    }
+
     if (!e.rate_grid.empty()) {
       auto fault = make_fault_model(spec_.fault.model,
                                     resolved_fault_params(spec_, nullptr), ctx);
@@ -301,6 +325,26 @@ Report Runner::run_robustness() {
       mr.fault = fault->describe();
       mr.points.push_back(
           {0.0, evaluator->run(*fault, *rm.eval_set, n, e.batch)});
+    }
+    if (do_forensics) {
+      if (fx.control) {
+        // Budget-matched random control: the same flip budget on
+        // hash-random cells, landing in the ledger under profile "control"
+        // so the attack's bit-position profile has a baseline to stand
+        // against in the same report.
+        BER_TRACE_SCOPE("runner", "forensics_control");
+        Json cparams = resolved_fault_params(spec_, nullptr);
+        cparams.set("control", true);
+        auto control = make_fault_model(spec_.fault.model, cparams, ctx);
+        evaluator->set_forensics(collector.get(), "control");
+        (void)evaluator->run(*control, *rm.eval_set, n, e.batch);
+      }
+      const std::uint64_t words_delta =
+          obs::registry().counter("faults.words_patched").value() -
+          words_before;
+      mr.forensics = collector->to_json(words_delta);
+      evaluator->set_forensics(nullptr);
+      obs::fault_ledger().set_enabled(false);
     }
     report.models.push_back(std::move(mr));
   }
@@ -526,6 +570,15 @@ Experiment& Experiment::clean_err(bool enabled) {
 Experiment& Experiment::eval_quant(const QuantScheme& scheme) {
   spec_.eval.has_quant_override = true;
   spec_.eval.quant_override = scheme;
+  return *this;
+}
+
+Experiment& Experiment::forensics(int probe_images, bool control,
+                                  double threshold) {
+  spec_.eval.forensics.enabled = true;
+  spec_.eval.forensics.probe_images = probe_images;
+  spec_.eval.forensics.threshold = threshold;
+  spec_.eval.forensics.control = control;
   return *this;
 }
 

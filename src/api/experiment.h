@@ -41,6 +41,10 @@ struct ModelReport {
   double clean_err = -1.0;  // fraction; -1 = not requested
   std::string fault;      // FaultModel::describe() of the last point
   std::vector<ReportPoint> points;
+  // ForensicsCollector::to_json() when eval.forensics was enabled for this
+  // model (flip ledger totals, bit-position attribution, probe summaries);
+  // null otherwise.
+  Json forensics;
 };
 
 // Deterministic serving-lifecycle results (plus traffic counters when the
@@ -132,6 +136,11 @@ class Experiment {
   Experiment& batch(long n);
   Experiment& clean_err(bool enabled);
   Experiment& eval_quant(const QuantScheme& scheme);
+  // Opt-in fault forensics (obs/forensics.h): flip ledger + attribution,
+  // propagation probes on `probe_images` examples, and — for adversarial
+  // faults — a budget-matched random control pass when `control` is set.
+  Experiment& forensics(int probe_images = 0, bool control = false,
+                        double threshold = 1e-4);
   Experiment& serve(ServeSection section);    // switches kind to "serve"
 
   // The validated spec (throws on inconsistencies).

@@ -144,6 +144,20 @@ EvalSection eval_from_json(const Json& j) {
     e.has_quant_override = true;
     e.quant_override = quant_from_json(quant, "eval.quant");
   }
+  const Json& forensics = p.raw("forensics");
+  if (!forensics.is_null()) {
+    ParamReader f("eval.forensics", forensics);
+    // Writing the section opts in; "enabled": false keeps a config around
+    // with forensics parked.
+    e.forensics.enabled = f.boolean("enabled", true);
+    e.forensics.probe_images =
+        static_cast<int>(f.integer("probe_images", e.forensics.probe_images));
+    e.forensics.threshold = f.number("threshold", e.forensics.threshold);
+    e.forensics.control = f.boolean("control", e.forensics.control);
+    f.finish();
+    if (e.forensics.probe_images < 0) f.fail("\"probe_images\" must be >= 0");
+    if (!(e.forensics.threshold > 0.0)) f.fail("\"threshold\" must be > 0");
+  }
   p.finish();
   if (e.split != "rerr" && e.split != "test") {
     p.fail("\"split\" must be \"rerr\" or \"test\"");
@@ -175,6 +189,14 @@ Json eval_to_json(const EvalSection& e) {
     j.set("grid", g);
   }
   if (e.has_quant_override) j.set("quant", quant_to_json(e.quant_override));
+  if (e.forensics.enabled) {
+    Json f = Json::object();
+    f.set("enabled", true);
+    f.set("probe_images", e.forensics.probe_images);
+    f.set("threshold", e.forensics.threshold);
+    if (e.forensics.control) f.set("control", true);
+    j.set("forensics", f);
+  }
   return j;
 }
 
@@ -534,6 +556,25 @@ void ExperimentSpec::validate() const {
   }
   for (double p : eval.rate_grid) {
     if (p < 0.0 || p > 1.0) fail("rate_grid entries must be fractions in [0, 1]");
+  }
+  if (eval.forensics.enabled) {
+    // The ledger records code-space flips: "linf" perturbs float weights and
+    // "ecc" injects into the SECDED codeword space, neither of which maps to
+    // weight cells.
+    if (fault.model == "linf" || fault.model == "ecc") {
+      fail("eval.forensics needs a code-space fault model (random, profiled "
+           "or adversarial), got \"" + fault.model + "\"");
+    }
+    if (eval.forensics.control && fault.model != "adversarial") {
+      fail("eval.forensics.control rate-matches an adversarial attack and "
+           "needs fault \"adversarial\", got \"" + fault.model + "\"");
+    }
+    if (eval.forensics.probe_images < 0) {
+      fail("eval.forensics.probe_images must be >= 0");
+    }
+    if (!(eval.forensics.threshold > 0.0)) {
+      fail("eval.forensics.threshold must be > 0");
+    }
   }
 
   if (kind == "serve") {

@@ -67,6 +67,20 @@ struct GridSection {
   bool empty() const { return values.empty(); }
 };
 
+// Opt-in fault forensics (obs/forensics.h): flip ledger, error-propagation
+// probes and bit-position attribution, emitted as the report's `forensics`
+// section. Code-space fault models only ("linf" perturbs float weights and
+// "ecc" injects into the SECDED codeword space, where flips don't map to
+// weight cells).
+struct ForensicsSection {
+  bool enabled = false;
+  int probe_images = 0;     // propagation-probe batch size (0 = ledger only)
+  double threshold = 1e-4;  // relative divergence that counts as "diverged"
+  // Adversarial scenarios: also run a budget-matched random-flip control
+  // pass, landing in the ledger as profile "control" next to "eval".
+  bool control = false;
+};
+
 struct EvalSection {
   int n_trials = 0;            // chips/offsets/samples; 0 = zoo default
   std::string split = "rerr";  // "rerr" (reduced subset) | "test" (full)
@@ -81,6 +95,7 @@ struct EvalSection {
   // model's training scheme.
   bool has_quant_override = false;
   QuantScheme quant_override;
+  ForensicsSection forensics;
 };
 
 // Accuracy SLO for serving plans. Exactly one of max_rerr / clean_plus is

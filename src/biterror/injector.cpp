@@ -6,6 +6,7 @@
 
 #include "core/hash.h"
 #include "core/parallel.h"
+#include "obs/forensics.h"
 
 namespace ber {
 
@@ -176,6 +177,12 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
       throw std::invalid_argument("ChipFaultList::apply: layout mismatch");
     }
   }
+  // Forensics hook (obs/forensics.h): one relaxed load when disabled. When
+  // recording, flips collect into per-shard vectors (race-free for any
+  // thread count) and append to the ledger in a single batch.
+  const bool forensics = obs::forensics_recording();
+  std::vector<std::vector<obs::FlipRecord>> flip_recs;
+  if (forensics) flip_recs.resize(shards_.size());
   std::vector<std::size_t> changed(shards_.size(), 0);
   parallel_for(
       static_cast<std::int64_t>(shards_.size()), threads,
@@ -183,6 +190,7 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
         const Shard& shard = shards_[static_cast<std::size_t>(s)];
         const std::vector<ChipFault>& faults = shard.faults;
         QuantizedTensor& qt = snap.tensors[shard.tensor];
+        const int width = tensor_bits_[shard.tensor];
         std::size_t n_changed = 0;
         // Entries are grouped by element index; apply each group to its code
         // word once. Shards own disjoint element ranges, so writes are
@@ -193,8 +201,17 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
           std::uint16_t code = before;
           for (; k < faults.size() && faults[k].index == idx; ++k) {
             if (faults[k].u >= p) continue;
+            const std::uint16_t prev = code;
             code = apply_fault(code, faults[k].bit,
                                static_cast<FaultType>(faults[k].type));
+            if (forensics) {
+              flip_recs[static_cast<std::size_t>(s)].push_back(
+                  {0, shard.tensor, idx, faults[k].bit,
+                   static_cast<std::uint8_t>(width),
+                   static_cast<std::uint8_t>(
+                       obs::classify_bit(faults[k].bit, width)),
+                   prev, code});
+            }
           }
           if (code != before) {
             qt.codes[idx] = code;
@@ -205,6 +222,13 @@ std::size_t ChipFaultList::apply(NetSnapshot& snap, double p,
       });
   std::size_t total = 0;
   for (std::size_t c : changed) total += c;
+  if (forensics) {
+    std::vector<obs::FlipRecord> flat;
+    for (auto& v : flip_recs) {
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+    obs::fault_ledger().record_apply(std::move(flat), total);
+  }
   return total;
 }
 
@@ -263,6 +287,10 @@ std::size_t inject_random_bit_errors_scalar(NetSnapshot& snap,
                                             const BitErrorConfig& config,
                                             std::uint64_t chip_seed) {
   config.validate();
+  // Same forensics contract as ChipFaultList::apply — this is the path
+  // RandomBitErrorModel::apply takes through RobustnessEvaluator::run().
+  const bool forensics = obs::forensics_recording();
+  std::vector<obs::FlipRecord> flip_recs;
   std::size_t changed = 0;
   for (std::size_t t = 0; t < snap.tensors.size(); ++t) {
     QuantizedTensor& qt = snap.tensors[t];
@@ -277,15 +305,28 @@ std::size_t inject_random_bit_errors_scalar(NetSnapshot& snap,
                          config.p)) {
           continue;
         }
+        const std::uint16_t prev = code;
         code = apply_fault(code, j,
                            fault_type_at(config, chip_seed, widx,
                                          static_cast<std::uint64_t>(j)));
+        if (forensics) {
+          flip_recs.push_back({0, static_cast<std::uint32_t>(t),
+                               static_cast<std::uint32_t>(i),
+                               static_cast<std::uint8_t>(j),
+                               static_cast<std::uint8_t>(bits),
+                               static_cast<std::uint8_t>(
+                                   obs::classify_bit(j, bits)),
+                               prev, code});
+        }
       }
       if (code != before) {
         qt.codes[i] = code;
         ++changed;
       }
     }
+  }
+  if (forensics) {
+    obs::fault_ledger().record_apply(std::move(flip_recs), changed);
   }
   return changed;
 }

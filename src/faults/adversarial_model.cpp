@@ -7,6 +7,7 @@
 
 #include "biterror/injector.h"
 #include "core/hash.h"
+#include "obs/forensics.h"
 
 namespace ber {
 
@@ -60,14 +61,32 @@ void AdversarialBitErrorModel::validate_layout(
 std::size_t AdversarialBitErrorModel::apply(NetSnapshot& snap,
                                             std::uint64_t trial) const {
   const std::vector<BitFlip>& flips = trials_[trial % trials_.size()];
+  // Attack flip sets land in the same forensics ledger as random injection
+  // (obs/forensics.h), so an adversarial campaign and its rate-matched
+  // random control are directly comparable. One relaxed load when off.
+  const bool forensics = obs::forensics_recording();
+  std::vector<obs::FlipRecord> flip_recs;
+  if (forensics) flip_recs.reserve(flips.size());
   // Flips are distinct cells, so every touched word ends up changed; the
   // changed count is the number of distinct words (several bits of one
   // weight may be attacked together).
   std::unordered_set<std::uint64_t> words;
   for (const BitFlip& f : flips) {
     std::uint16_t& code = snap.tensors[f.tensor].codes[f.index];
+    const std::uint16_t before = code;
     code = apply_fault(code, f.bit, FaultType::kFlip);
+    if (forensics) {
+      const int width = snap.tensors[f.tensor].scheme.bits;
+      flip_recs.push_back({0, f.tensor, f.index, f.bit,
+                           static_cast<std::uint8_t>(width),
+                           static_cast<std::uint8_t>(
+                               obs::classify_bit(f.bit, width)),
+                           before, code});
+    }
     words.insert((static_cast<std::uint64_t>(f.tensor) << 32) | f.index);
+  }
+  if (forensics) {
+    obs::fault_ledger().record_apply(std::move(flip_recs), words.size());
   }
   return words.size();
 }

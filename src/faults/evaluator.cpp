@@ -9,6 +9,7 @@
 #include "kernels/backend.h"
 #include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -121,8 +122,19 @@ RobustResult RobustnessEvaluator::run(const FaultModel& fault,
                                        static_cast<std::uint64_t>(trial));
                  } else {
                    NetSnapshot snap = base_snap_;
-                   fault.apply(snap, static_cast<std::uint64_t>(trial));
+                   {
+                     const obs::ForensicsTrialScope fscope(
+                         static_cast<std::uint64_t>(trial),
+                         forensics_profile_);
+                     em.words_patched.add(fault.apply(
+                         snap, static_cast<std::uint64_t>(trial)));
+                   }
                    deploy_snapshot(snap, param_slots(clone), on_codes_);
+                   if (forensics_ != nullptr && forensics_->probes_ready()) {
+                     forensics_->probe_trial(
+                         clone, static_cast<std::uint64_t>(trial),
+                         forensics_profile_);
+                   }
                  }
                } else {
                  // Reset to the pristine weights before perturbing: unlike
@@ -132,6 +144,11 @@ RobustResult RobustnessEvaluator::run(const FaultModel& fault,
                                      static_cast<std::uint64_t>(trial));
                }
                const EvalResult r = evaluate(clone, data, batch);
+               if (forensics_ != nullptr && quantizer_ && !weight_space) {
+                 forensics_->record_trial_error(
+                     static_cast<std::uint64_t>(trial), forensics_profile_,
+                     r.error);
+               }
                errs[static_cast<std::size_t>(trial)] = r.error;
                confs[static_cast<std::size_t>(trial)] = r.confidence;
              });
@@ -162,10 +179,25 @@ std::vector<RobustResult> RobustnessEvaluator::run_grid_sweep(
                for (std::size_t r = 0; r < n_points; ++r) {
                  BER_TRACE_SCOPE_ARGS("faults", "sweep_point", {"point", r});
                  const obs::ScopedTimerUs timer(em.sweep_point_us);
+                 // Point-distinct trial token: grid points of one trial are
+                 // separate injections with their own ledger / probe rows.
+                 const std::uint64_t token =
+                     static_cast<std::uint64_t>(trial) * n_points + r;
                  NetSnapshot snap = base_snap_;
-                 em.words_patched.add(faults.apply(snap, rate_of(r)));
+                 {
+                   const obs::ForensicsTrialScope fscope(token,
+                                                         forensics_profile_);
+                   em.words_patched.add(faults.apply(snap, rate_of(r)));
+                 }
                  deploy_snapshot(snap, slots, on_codes_);
+                 if (forensics_ != nullptr && forensics_->probes_ready()) {
+                   forensics_->probe_trial(clone, token, forensics_profile_);
+                 }
                  const EvalResult res = evaluate(clone, data, batch);
+                 if (forensics_ != nullptr) {
+                   forensics_->record_trial_error(token, forensics_profile_,
+                                                  res.error);
+                 }
                  errs[r][static_cast<std::size_t>(trial)] = res.error;
                  confs[r][static_cast<std::size_t>(trial)] = res.confidence;
                }

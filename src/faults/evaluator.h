@@ -28,6 +28,10 @@
 
 namespace ber {
 
+namespace obs {
+class ForensicsCollector;
+}
+
 class ChipFaultList;
 class ProfiledChipModel;
 class RandomBitErrorModel;
@@ -79,6 +83,18 @@ class RobustnessEvaluator {
   void set_compute_on_codes(bool on) { on_codes_ = on; }
   bool compute_on_codes() const { return on_codes_; }
 
+  // Opt-in fault forensics (obs/forensics.h). Code-space trials always run
+  // their injection inside a ForensicsTrialScope tagged `profile` — free
+  // when the global forensics gate is off — so an enabled ledger attributes
+  // every flip to its trial. A non-null collector additionally gets a
+  // propagation probe per trial (when prepared) and the per-trial error.
+  // The collector must outlive the evaluator calls; nullptr detaches it.
+  void set_forensics(obs::ForensicsCollector* collector,
+                     const char* profile = "eval") {
+    forensics_ = collector;
+    forensics_profile_ = profile;
+  }
+
   // Runs `n_trials` trials of `fault` and aggregates RErr / confidence.
   RobustResult run(const FaultModel& fault, const Dataset& data, int n_trials,
                    long batch = 200) const;
@@ -114,6 +130,8 @@ class RobustnessEvaluator {
   std::optional<NetQuantizer> quantizer_;
   NetSnapshot base_snap_;
   bool on_codes_ = compute_on_codes_default();
+  obs::ForensicsCollector* forensics_ = nullptr;
+  const char* forensics_profile_ = "eval";
 };
 
 }  // namespace ber

@@ -76,7 +76,8 @@ Tensor Sequential::forward(const Tensor& x, bool training) {
   return run_layers(x, training);
 }
 
-Tensor Sequential::run_layers(const Tensor& x, bool training) {
+Tensor Sequential::run_layers(const Tensor& x, bool training,
+                              const ActivationObserver* observer) {
   Tensor cur = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Layer* l = layers_[i].get();
@@ -87,13 +88,22 @@ Tensor Sequential::run_layers(const Tensor& x, bool training) {
             i + 1 < layers_.size() &&
             dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr;
         cur = cc->forward_on_codes(cur, fuse_relu);
+        if (observer != nullptr) (*observer)(i, *l, cur);
         if (fuse_relu) ++i;  // the epilogue already applied the ReLU
         continue;
       }
     }
     cur = l->forward(cur, training);
+    if (observer != nullptr) (*observer)(i, *l, cur);
   }
   return cur;
+}
+
+Tensor Sequential::forward_observed(const Tensor& x,
+                                    const ActivationObserver& observer) {
+  std::optional<kernels::ScopedBackend> guard;
+  if (backend_ptr_) guard.emplace(*backend_ptr_);
+  return run_layers(x, /*training=*/false, &observer);
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {

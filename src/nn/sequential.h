@@ -38,6 +38,20 @@ class Sequential : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+
+  // Per-layer activation observer for inference forwards: called once per
+  // EXECUTED top-level layer with its index and output. When a ReLU is
+  // fused into the preceding layer's code-compute epilogue, the observer
+  // sees one call for the weight layer's (post-ReLU) output and none for
+  // the skipped ReLU — the executed sequence, not the declared one.
+  using ActivationObserver =
+      std::function<void(std::size_t layer, const Layer& l, const Tensor& out)>;
+
+  // Inference forward with activation capture (obs/forensics propagation
+  // probes). Runs OUTSIDE the arena-tensor region, so observed tensors are
+  // ordinary heap tensors the observer may copy from freely; probe batches
+  // are small, steady-state allocation behavior doesn't apply here.
+  Tensor forward_observed(const Tensor& x, const ActivationObserver& observer);
   std::vector<Param*> params() override;
   std::vector<Tensor*> buffers() override;
   std::string name() const override;
@@ -91,7 +105,9 @@ class Sequential : public Layer {
   // (nn/code_compute.h) runs forward_on_codes; when the next layer is a
   // ReLU, the activation is folded into the kernel epilogue and the ReLU
   // layer is skipped (its last_active_fraction() is then not refreshed).
-  Tensor run_layers(const Tensor& x, bool training);
+  // A non-null observer sees every executed layer's output.
+  Tensor run_layers(const Tensor& x, bool training,
+                    const ActivationObserver* observer = nullptr);
 
   std::vector<std::unique_ptr<Layer>> layers_;
   std::string backend_;

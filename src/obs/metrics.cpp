@@ -359,6 +359,30 @@ std::string Registry::to_prometheus() const {
           append_sample(out, name, prom_labels(e->labels, "quantile", qname),
                         s.quantile(q));
         }
+        // Cumulative Prometheus buckets alongside the quantile summaries.
+        // Recorded values round to integers, so the exclusive bucket upper
+        // bound maps to an inclusive le of upper-1; only non-empty buckets
+        // are emitted (1920 mostly-zero lines per histogram would dwarf the
+        // exposition). The mandatory +Inf bucket takes max(cum, count):
+        // under a relaxed snapshot the count can run ahead of the bucket
+        // copies, and _bucket{+Inf} must stay >= every other bucket AND
+        // match _count for scrape-side consistency.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (s.buckets[i] == 0) continue;
+          cum += s.buckets[i];
+          const std::uint64_t upper = Histogram::bucket_upper(i);
+          if (upper == ~0ull) continue;  // folds into +Inf below
+          char le[24];
+          std::snprintf(le, sizeof(le), "%llu",
+                        static_cast<unsigned long long>(upper - 1));
+          append_sample(out, name + "_bucket",
+                        prom_labels(e->labels, "le", le),
+                        static_cast<double>(cum));
+        }
+        append_sample(out, name + "_bucket",
+                      prom_labels(e->labels, "le", "+Inf"),
+                      static_cast<double>(std::max(cum, s.count)));
         break;
       }
     }

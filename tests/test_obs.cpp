@@ -434,6 +434,36 @@ TEST(ObsRegistry, PrometheusEscapesLabelValues) {
   EXPECT_EQ(prom.find("say \"hi\""), std::string::npos);
 }
 
+TEST(ObsRegistry, PrometheusHistogramBucketsCumulativeWithInf) {
+  obs::Histogram& h = obs::registry().histogram("test_obs.prom_buckets");
+  h.record(1.0);
+  h.record(1.0);
+  h.record(10.0);
+  h.record(1e6);
+  const std::string prom = obs::registry().to_prometheus();
+  // Unit buckets below kSub are exact and the le bound is inclusive, so the
+  // two 1s land on le="1" and the 10 accumulates onto le="10".
+  EXPECT_NE(prom.find("test_obs_prom_buckets_bucket{le=\"1\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("test_obs_prom_buckets_bucket{le=\"10\"} 3"),
+            std::string::npos)
+      << prom;
+  // The mandatory +Inf bucket closes the series at the total count.
+  EXPECT_NE(prom.find("test_obs_prom_buckets_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << prom;
+  // The log-linear bucket holding 1e6 must carry an le bound that brackets
+  // it: lower <= 1e6 <= le (one cumulative line with value 4 before +Inf).
+  const std::size_t idx = Histogram::bucket_index(1000000);
+  const std::string line = "test_obs_prom_buckets_bucket{le=\"" +
+                           std::to_string(Histogram::bucket_upper(idx) - 1) +
+                           "\"} 4";
+  EXPECT_NE(prom.find(line), std::string::npos) << prom;
+  EXPECT_LE(Histogram::bucket_lower(idx), 1000000u);
+  EXPECT_GE(Histogram::bucket_upper(idx) - 1, 1000000u);
+}
+
 TEST(ObsTrace, BoundedBufferDropsAndCounts) {
   obs::start_tracing();
   const std::uint64_t ctr0 =

@@ -7,6 +7,8 @@
 //   ber_run --list                          # registry names a spec can use
 //   ber_run --metrics-out m.json configs/... # obs registry snapshot to file
 //   ber_run --trace-out t.json configs/...   # chrome://tracing trace to file
+//   ber_run --forensics-out f.json configs/... # fault-forensics sections
+//                                              # (eval.forensics) to a file
 //   ber_run --baseline old.json configs/x.json  # run + regression-diff
 //   ber_run --baseline old.json --report new.json  # diff two reports, no run
 //
@@ -37,8 +39,8 @@ using namespace ber;
 int usage() {
   std::fprintf(stderr,
                "usage: ber_run [--out FILE] [--metrics-out FILE] "
-               "[--trace-out FILE] [--baseline FILE] [--table] "
-               "[--print-spec] SPEC.json [SPEC.json ...]\n"
+               "[--trace-out FILE] [--forensics-out FILE] [--baseline FILE] "
+               "[--table] [--print-spec] SPEC.json [SPEC.json ...]\n"
                "       ber_run --baseline FILE --report REPORT.json\n"
                "       ber_run --list\n");
   return 2;
@@ -88,6 +90,13 @@ void list_registries() {
   j.set("datasets", names_json(api::dataset_names()));
   j.set("quant_schemes", names_json(api::quant_scheme_names()));
   j.set("training_methods", names_json(api::method_names()));
+  // The fault models eval.forensics can instrument: code-space injectors
+  // only (spec validation rejects float-space linf and SECDED-codeword ecc).
+  Json fx = Json::array();
+  for (const auto& n : api::fault_models().names()) {
+    if (n != "ecc" && n != "linf") fx.push_back(n);
+  }
+  j.set("forensics_fault_models", fx);
   std::printf("%s\n", j.dump(2).c_str());
 }
 
@@ -120,7 +129,7 @@ void print_table(const api::Report& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path, metrics_path, trace_path;
+  std::string out_path, metrics_path, trace_path, forensics_path;
   std::string baseline_path, report_path;
   bool table = false, print_spec = false;
   std::vector<std::string> files;
@@ -142,6 +151,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       if (++i >= argc) return usage();
       trace_path = argv[i];
+    } else if (arg == "--forensics-out") {
+      if (++i >= argc) return usage();
+      forensics_path = argv[i];
     } else if (arg == "--baseline") {
       if (++i >= argc) return usage();
       baseline_path = argv[i];
@@ -175,6 +187,7 @@ int main(int argc, char** argv) {
 
   std::set<std::string> written;
   Json last_report;  // for --baseline (single spec enforced above)
+  Json forensics_experiments = Json::array();  // for --forensics-out
   for (const std::string& file : files) {
     api::ExperimentSpec spec;
     try {
@@ -198,6 +211,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     last_report = report.to_json();
+    if (!forensics_path.empty()) {
+      Json models = Json::array();
+      for (const api::ModelReport& m : report.models) {
+        if (m.forensics.is_null()) continue;
+        Json mj = Json::object();
+        mj.set("name", m.name);
+        mj.set("label", m.label);
+        mj.set("forensics", m.forensics);
+        models.push_back(std::move(mj));
+      }
+      Json fj = Json::object();
+      fj.set("experiment", spec.name);
+      fj.set("models", std::move(models));
+      forensics_experiments.push_back(std::move(fj));
+    }
     const std::string text = last_report.dump(2);
     if (out_path.empty()) {
       std::printf("%s\n", text.c_str());
@@ -225,6 +253,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[ber_run] report written to %s\n", path.c_str());
     }
     if (table) print_table(report);
+  }
+  if (!forensics_path.empty() && !print_spec) {
+    Json fj = Json::object();
+    fj.set("experiments", std::move(forensics_experiments));
+    std::ofstream out(forensics_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "ber_run: cannot write %s\n", forensics_path.c_str());
+      return 1;
+    }
+    out << fj.dump(2) << "\n";
+    std::fprintf(stderr, "[ber_run] forensics written to %s\n",
+                 forensics_path.c_str());
   }
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path, std::ios::binary);
