@@ -12,6 +12,8 @@
 #include "api/registry.h"
 #include "api/zoo.h"
 #include "core/env.h"
+#include "data/source.h"
+#include "data/store.h"
 #include "eval/metrics.h"
 #include "faults/profiled_chip_model.h"
 #include "faults/random_bit_error_model.h"
@@ -132,23 +134,20 @@ Runner::Runner(ExperimentSpec spec) : spec_(std::move(spec)) {
 }
 
 const Dataset& Runner::dataset(const DatasetSection& section, bool train) {
-  const std::string key =
-      section.name + (train ? "/train/" : "/test/") +
-      std::to_string(section.config.n_train) + "_" +
-      std::to_string(section.config.n_test) + "_" +
-      std::to_string(section.config.seed);
-  for (const auto& [k, d] : datasets_) {
-    if (k == key) return *d;
-  }
-  datasets_.emplace_back(
-      key, std::make_unique<Dataset>(make_synthetic(section.config, train)));
-  return *datasets_.back().second;
+  // One keyed store for the whole process (data/store.h): an inline spec
+  // model and a zoo model naming the same data share a materialization, and
+  // file-backed sources stream through the prefetch pipeline in load_split.
+  data::SourceSpec src{section.source, section.path, section.config};
+  return data::dataset_store().get(
+      data::dataset_key(src, train ? "train" : "test"),
+      [&] { return data::load_split(src, train); });
 }
 
 const Dataset& Runner::subset(const Dataset& full, long n) {
-  subsets_.push_back(
-      std::make_unique<Dataset>(full.head(std::min(n, full.size()))));
-  return *subsets_.back();
+  n = std::min(n, full.size());
+  std::unique_ptr<Dataset>& slot = subsets_[{&full, n}];
+  if (slot == nullptr) slot = std::make_unique<Dataset>(full.head(n));
+  return *slot;
 }
 
 int Runner::n_trials() const {
@@ -171,6 +170,28 @@ Runner::ResolvedModel Runner::resolve(const ModelEntry& entry) {
   } else {
     const Dataset& train_data = dataset(entry.dataset, /*train=*/true);
     const Dataset& test_data = dataset(entry.dataset, /*train=*/false);
+    if (entry.dataset.source != "synthetic") {
+      // File-backed geometry is only known once the files are read (shard
+      // headers especially); a mismatch against the model section would
+      // otherwise surface as a shape error deep inside the first forward.
+      for (const Dataset* d : {&train_data, &test_data}) {
+        if (d->channels() != entry.model.in_channels ||
+            d->height() != entry.model.image_size ||
+            d->width() != entry.model.image_size ||
+            d->num_classes != entry.model.num_classes) {
+          throw std::invalid_argument(
+              "experiment \"" + spec_.name + "\": dataset at \"" +
+              entry.dataset.path + "\" is [" + std::to_string(d->channels()) +
+              "x" + std::to_string(d->height()) + "x" +
+              std::to_string(d->width()) + "], " +
+              std::to_string(d->num_classes) + " classes, but the model "
+              "section says in_channels=" +
+              std::to_string(entry.model.in_channels) + " image_size=" +
+              std::to_string(entry.model.image_size) + " num_classes=" +
+              std::to_string(entry.model.num_classes));
+        }
+      }
+    }
     auto model = build_model(entry.model);
     const std::string ckpt =
         entry.name.empty()

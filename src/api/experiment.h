@@ -16,8 +16,10 @@
 // hand-wired paths for a fixed seed (pinned in tests/test_api.cpp).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/spec.h"
@@ -103,8 +105,11 @@ class Runner {
 
   ExperimentSpec spec_;
   std::vector<std::unique_ptr<Sequential>> owned_models_;
-  std::vector<std::pair<std::string, std::unique_ptr<Dataset>>> datasets_;
-  std::vector<std::unique_ptr<Dataset>> subsets_;
+  // Eval subsets deduped by (parent dataset, n): a grid of models sharing
+  // one eval set materializes its head exactly once. Full datasets live in
+  // the process-wide data::dataset_store(), shared with the zoo.
+  std::map<std::pair<const Dataset*, long>, std::unique_ptr<Dataset>>
+      subsets_;
 };
 
 // Fluent builder: mirrors the spec sections for C++ callers (benches,

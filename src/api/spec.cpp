@@ -5,6 +5,7 @@
 
 #include "api/registry.h"
 #include "api/zoo.h"
+#include "data/source.h"
 #include "kernels/backend.h"
 
 namespace ber::api {
@@ -16,21 +17,59 @@ namespace {
 DatasetSection dataset_from_json(const Json& j, const std::string& where) {
   ParamReader p(where, j);
   DatasetSection d;
-  d.name = p.str("name", d.name);
-  d.config = dataset_by_name(d.name);
-  d.config.n_train = static_cast<int>(p.integer("n_train", d.config.n_train));
-  d.config.n_test = static_cast<int>(p.integer("n_test", d.config.n_test));
-  d.config.seed = static_cast<std::uint64_t>(
-      p.integer("seed", static_cast<long>(d.config.seed)));
+  d.source = p.str("source", d.source);
+  if (!data::known_dataset_source(d.source)) {
+    std::string msg = "unknown dataset source \"" + d.source + "\" (known:";
+    for (const std::string& n : data::dataset_source_names()) msg += " " + n;
+    p.fail(msg + ")");
+  }
+  if (d.source == "synthetic") {
+    d.name = p.str("name", d.name);
+    d.config = dataset_by_name(d.name);
+    d.config.n_train =
+        static_cast<int>(p.integer("n_train", d.config.n_train));
+    d.config.n_test = static_cast<int>(p.integer("n_test", d.config.n_test));
+    d.config.seed = static_cast<std::uint64_t>(
+        p.integer("seed", static_cast<long>(d.config.seed)));
+    p.finish();
+    if (d.config.n_train < 1 || d.config.n_test < 1) {
+      p.fail("n_train / n_test must be >= 1");
+    }
+    return d;
+  }
+  // File-backed source: `path` is the dataset root directory; n_train/
+  // n_test are per-split record caps (0 = every record on disk). Geometry
+  // defaults come from the source (shard geometry lives in the header and
+  // is checked at run time — configs must parse without data files).
+  d.path = p.str("path", "");
+  d.name = p.str("name", d.source);
+  d.config = data::source_geometry(d.source);
+  d.config.n_train = static_cast<int>(p.integer("n_train", 0));
+  d.config.n_test = static_cast<int>(p.integer("n_test", 0));
   p.finish();
-  if (d.config.n_train < 1 || d.config.n_test < 1) {
-    p.fail("n_train / n_test must be >= 1");
+  if (d.path.empty()) {
+    p.fail("source \"" + d.source +
+           "\" needs a \"path\" (dataset root directory)");
+  }
+  if (d.config.n_train < 0 || d.config.n_test < 0) {
+    p.fail("n_train / n_test caps must be >= 0 (0 = all records)");
   }
   return d;
 }
 
 Json dataset_to_json(const DatasetSection& d) {
   Json j = Json::object();
+  if (d.source != "synthetic") {
+    j.set("source", d.source);
+    j.set("path", d.path);
+    if (d.name != d.source) j.set("name", d.name);
+    if (d.config.n_train > 0) j.set("n_train", d.config.n_train);
+    if (d.config.n_test > 0) j.set("n_test", d.config.n_test);
+    return j;
+  }
+  // The synthetic form is frozen: it feeds the inline-model fingerprint
+  // (api/experiment.cpp), so emitting new keys here would invalidate every
+  // cached checkpoint.
   j.set("name", d.name);
   j.set("n_train", d.config.n_train);
   j.set("n_test", d.config.n_test);
@@ -52,6 +91,16 @@ ModelConfig model_config_from_json(const Json& j, const DatasetSection& data,
   mc.width = static_cast<int>(p.integer("width", mc.width));
   p.finish();
   if (mc.width < 1) p.fail("\"width\" must be >= 1");
+  if (mc.in_channels < 1 || mc.image_size < 1 || mc.num_classes < 2) {
+    // Shard-backed datasets carry geometry in the shard header, which is
+    // not read at parse time — those model sections must spell it out.
+    p.fail(std::string("model geometry must be positive (\"in_channels\"/"
+                       "\"image_size\" >= 1, \"num_classes\" >= 2)") +
+           (data.source == "shard"
+                ? " — source \"shard\" provides no parse-time defaults, so "
+                  "set them explicitly in the model section"
+                : ""));
+  }
   return mc;
 }
 
@@ -536,7 +585,22 @@ void ExperimentSpec::validate() const {
                            FaultContext{});
   }
   for (const ModelEntry& e : models) {
-    if (e.is_zoo()) (void)zoo::spec(e.zoo);  // throws on unknown zoo names
+    if (e.is_zoo()) {
+      (void)zoo::spec(e.zoo);  // throws on unknown zoo names
+      continue;
+    }
+    // Builder-made entries skip the JSON readers; re-check the dataset
+    // source shape here so Experiment::model() failures are actionable.
+    data::check_dataset_source(e.dataset.source, "experiment \"" + name + "\"");
+    if (e.dataset.source != "synthetic" && e.dataset.path.empty()) {
+      fail("dataset source \"" + e.dataset.source +
+           "\" needs a path (dataset root directory)");
+    }
+    if (e.model.in_channels < 1 || e.model.image_size < 1 ||
+        e.model.num_classes < 2) {
+      fail("model geometry must be positive (in_channels/image_size >= 1, "
+           "num_classes >= 2)");
+    }
   }
 
   int grids = 0;

@@ -31,10 +31,16 @@
 
 namespace ber::api {
 
-// Dataset a model trains/evaluates on: a named preset plus size overrides.
+// Dataset a model trains/evaluates on. `source` picks where records come
+// from (data/source.h): "synthetic" renders the named preset; "idx",
+// "cifar10" and "shard" read real files under `path`, with the config's
+// n_train/n_test acting as per-split record caps (0 = all). Unknown
+// sources are rejected at parse time with the accepted list.
 struct DatasetSection {
-  std::string name = "c10";  // c10 | mnist | c100
-  SyntheticConfig config;    // resolved preset with overrides applied
+  std::string name = "c10";          // synthetic preset (c10 | mnist | c100)
+  std::string source = "synthetic";  // synthetic | idx | cifar10 | shard
+  std::string path;                  // dataset root dir (file-backed sources)
+  SyntheticConfig config;            // resolved preset / geometry + caps
 };
 
 // One model of the experiment: either a zoo reference ({"zoo": "<name>"})

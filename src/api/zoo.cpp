@@ -11,6 +11,8 @@
 #include "core/parallel.h"
 #include "core/table.h"
 #include "data/shapes.h"
+#include "data/source.h"
+#include "data/store.h"
 #include "kernels/backend.h"
 
 namespace ber::zoo {
@@ -211,22 +213,26 @@ std::mutex& zoo_mutex() {
   return m;
 }
 
-std::map<std::string, Dataset>& dataset_cache() {
-  static std::map<std::string, Dataset> c;
-  return c;
-}
-
+// Zoo datasets live in the process-wide data::dataset_store() under the
+// same canonical keys the Runner uses, so "zoo c10" and an inline spec
+// model on the c10 preset share one materialization.
 const Dataset& dataset(const std::string& key) {
-  std::lock_guard<std::mutex> lock(zoo_mutex());
-  auto& cache = dataset_cache();
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
   const std::string tag = key.substr(0, key.find('/'));
   const std::string split = key.substr(key.find('/') + 1);
-  SyntheticConfig cfg = data_config(tag);
-  Dataset d = make_synthetic(cfg, split == "train");
-  if (split == "rerr") d = d.head(fast_mode() ? 200 : 500);
-  return cache.emplace(key, std::move(d)).first->second;
+  data::SourceSpec src;
+  src.synthetic = data_config(tag);
+  if (split == "rerr") {
+    // Derived from test — materialize the parent first (store builders must
+    // not recurse into the store).
+    const Dataset& test = dataset(tag + "/test");
+    const long n = fast_mode() ? 200 : 500;
+    return data::dataset_store().get(
+        data::dataset_key(src, "test") + "/head" + std::to_string(n),
+        [&] { return test.head(n); });
+  }
+  return data::dataset_store().get(
+      data::dataset_key(src, split),
+      [&] { return data::load_split(src, split == "train"); });
 }
 
 std::string artifact_path(const Spec& s) {

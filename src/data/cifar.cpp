@@ -1,0 +1,80 @@
+#include "data/cifar.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "data/io.h"
+
+namespace ber::data {
+
+namespace {
+
+constexpr long kMaxRecords = 1'000'000;
+
+// Record count of one batch file, validated against its byte size.
+long record_count(const std::string& path, std::uint64_t bytes) {
+  if (bytes == 0) fail(path, "empty CIFAR-10 batch file");
+  if (bytes % static_cast<std::uint64_t>(kCifarRecordBytes) != 0) {
+    fail(path, "size " + std::to_string(bytes) +
+                   " is not a whole number of " +
+                   std::to_string(kCifarRecordBytes) + "-byte records "
+                   "(truncated or not a CIFAR-10 binary batch)");
+  }
+  const long n = static_cast<long>(
+      bytes / static_cast<std::uint64_t>(kCifarRecordBytes));
+  if (n > kMaxRecords) fail(path, "absurd record count " + std::to_string(n));
+  return n;
+}
+
+}  // namespace
+
+Dataset load_cifar10(const std::vector<std::string>& batch_files) {
+  if (batch_files.empty()) {
+    throw std::invalid_argument("load_cifar10: no batch files given");
+  }
+  // Two passes: size every file first so the output tensor is allocated
+  // once, from validated counts.
+  long total = 0;
+  for (const std::string& path : batch_files) {
+    total += record_count(path, file_size(path));
+  }
+  Dataset d;
+  d.num_classes = static_cast<int>(kCifarClasses);
+  d.images = Tensor({total, kCifarChannels, kCifarSide, kCifarSide});
+  d.labels.resize(static_cast<std::size_t>(total));
+  long at = 0;
+  for (const std::string& path : batch_files) {
+    const std::vector<unsigned char> bytes = read_file(path);
+    const long n = record_count(path, bytes.size());
+    for (long i = 0; i < n; ++i) {
+      const unsigned char* rec =
+          bytes.data() + static_cast<std::size_t>(i * kCifarRecordBytes);
+      const int label = rec[0];
+      if (label >= kCifarClasses) {
+        fail(path, "record " + std::to_string(i) + ": label byte " +
+                       std::to_string(label) + " out of range [0, 9]");
+      }
+      d.labels[static_cast<std::size_t>(at)] = label;
+      float* out = d.images.data() + at * kCifarImageBytes;
+      for (long p = 0; p < kCifarImageBytes; ++p) {
+        out[p] = static_cast<float>(rec[1 + p]) * (1.0f / 255.0f);
+      }
+      ++at;
+    }
+  }
+  return d;
+}
+
+Dataset load_cifar10_dir(const std::string& dir, bool train) {
+  std::vector<std::string> files;
+  if (train) {
+    for (int i = 1; i <= 5; ++i) {
+      files.push_back(dir + "/data_batch_" + std::to_string(i) + ".bin");
+    }
+  } else {
+    files.push_back(dir + "/test_batch.bin");
+  }
+  return load_cifar10(files);
+}
+
+}  // namespace ber::data

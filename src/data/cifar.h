@@ -1,0 +1,33 @@
+// CIFAR-10 binary-version readers.
+//
+// The CIFAR-10 "binary version" distribution: each file is a flat
+// concatenation of 3073-byte records — 1 label byte in [0, 9] followed by
+// 3072 pixel bytes in channel-planar R/G/B order (exactly our NCHW layout
+// for one [3, 32, 32] image). Pixels load as floats in [0, 1].
+//
+// Validation mirrors data/idx.h: a file whose size is not a whole number of
+// records, an empty file, an absurd record count, or an out-of-range label
+// byte throws data::DataError naming the path and offset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ber::data {
+
+constexpr long kCifarSide = 32;
+constexpr long kCifarChannels = 3;
+constexpr long kCifarClasses = 10;
+constexpr long kCifarImageBytes = kCifarChannels * kCifarSide * kCifarSide;
+constexpr long kCifarRecordBytes = 1 + kCifarImageBytes;  // label + pixels
+
+// Loads and concatenates one or more batch files, in the order given.
+Dataset load_cifar10(const std::vector<std::string>& batch_files);
+
+// Loads a split from a directory with the standard binary-version layout:
+// data_batch_1.bin .. data_batch_5.bin (train) and test_batch.bin (test).
+Dataset load_cifar10_dir(const std::string& dir, bool train);
+
+}  // namespace ber::data

@@ -1,0 +1,99 @@
+#include "data/idx.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "data/io.h"
+
+namespace ber::data {
+
+namespace {
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // ubyte, 3 dims
+constexpr std::uint32_t kLabelsMagic = 0x00000801;  // ubyte, 1 dim
+constexpr long kImagesHeader = 16;                  // magic + n + rows + cols
+constexpr long kLabelsHeader = 8;                   // magic + n
+constexpr long kMaxCount = 10'000'000;
+constexpr long kMaxSide = 4096;
+
+}  // namespace
+
+Dataset load_idx(const std::string& images_path,
+                 const std::string& labels_path) {
+  const std::vector<unsigned char> img = read_file(images_path);
+  if (static_cast<long>(img.size()) < kImagesHeader) {
+    fail(images_path, "truncated IDX header (" + std::to_string(img.size()) +
+                          " bytes, need " + std::to_string(kImagesHeader) + ")");
+  }
+  if (be32(img.data()) != kImagesMagic) {
+    fail(images_path, "bad IDX image magic (expected 0x00000803)");
+  }
+  const long n = static_cast<long>(be32(img.data() + 4));
+  const long rows = static_cast<long>(be32(img.data() + 8));
+  const long cols = static_cast<long>(be32(img.data() + 12));
+  if (n < 1 || n > kMaxCount) {
+    fail(images_path, "absurd image count " + std::to_string(n));
+  }
+  if (rows < 1 || rows > kMaxSide || cols < 1 || cols > kMaxSide) {
+    fail(images_path, "absurd image dims " + std::to_string(rows) + "x" +
+                          std::to_string(cols));
+  }
+  // Exact size: truncated files AND trailing garbage both fail — a payload
+  // that does not match its own header is not trustworthy.
+  const std::uint64_t want_img =
+      static_cast<std::uint64_t>(kImagesHeader) +
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(rows * cols);
+  if (img.size() != want_img) {
+    fail(images_path, "size mismatch: header promises " +
+                          std::to_string(want_img) + " bytes, file has " +
+                          std::to_string(img.size()));
+  }
+
+  const std::vector<unsigned char> lab = read_file(labels_path);
+  if (static_cast<long>(lab.size()) < kLabelsHeader) {
+    fail(labels_path, "truncated IDX header (" + std::to_string(lab.size()) +
+                          " bytes, need " + std::to_string(kLabelsHeader) + ")");
+  }
+  if (be32(lab.data()) != kLabelsMagic) {
+    fail(labels_path, "bad IDX label magic (expected 0x00000801)");
+  }
+  const long n_lab = static_cast<long>(be32(lab.data() + 4));
+  if (n_lab != n) {
+    fail(labels_path, "label count " + std::to_string(n_lab) +
+                          " does not match image count " + std::to_string(n));
+  }
+  if (lab.size() != static_cast<std::uint64_t>(kLabelsHeader + n)) {
+    fail(labels_path, "size mismatch: header promises " +
+                          std::to_string(kLabelsHeader + n) + " bytes, file has " +
+                          std::to_string(lab.size()));
+  }
+
+  Dataset d;
+  d.images = Tensor({n, 1, rows, cols});
+  d.labels.resize(static_cast<std::size_t>(n));
+  const unsigned char* px = img.data() + kImagesHeader;
+  float* out = d.images.data();
+  const long pixels = n * rows * cols;
+  for (long i = 0; i < pixels; ++i) {
+    out[i] = static_cast<float>(px[i]) * (1.0f / 255.0f);
+  }
+  int max_label = 0;
+  for (long i = 0; i < n; ++i) {
+    const int label = lab[static_cast<std::size_t>(kLabelsHeader + i)];
+    d.labels[static_cast<std::size_t>(i)] = label;
+    if (label > max_label) max_label = label;
+  }
+  if (max_label > 999) {
+    fail(labels_path, "absurd label " + std::to_string(max_label));
+  }
+  d.num_classes = max_label + 1;
+  return d;
+}
+
+Dataset load_idx_dir(const std::string& dir, bool train) {
+  const std::string stem = train ? "train" : "t10k";
+  return load_idx(dir + "/" + stem + "-images-idx3-ubyte",
+                  dir + "/" + stem + "-labels-idx1-ubyte");
+}
+
+}  // namespace ber::data

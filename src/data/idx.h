@@ -1,0 +1,28 @@
+// IDX (MNIST) binary readers.
+//
+// The IDX format (Y. LeCun's MNIST distribution): a big-endian header —
+// magic 0x0000'08'03 for ubyte rank-3 image files, 0x0000'08'01 for ubyte
+// rank-1 label files — followed by the raw ubyte payload. Images load as
+// [N, 1, rows, cols] floats in [0, 1] (pixel / 255).
+//
+// Validation is file-size-aware: bad magic, a count/dimension that does not
+// match the bytes on disk (truncation or trailing garbage), a label/image
+// count mismatch, or absurd counts all throw data::DataError naming the
+// path — never a silent mis-parse or an allocation sized from a lie.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ber::data {
+
+// Loads one images + labels file pair. num_classes = max label + 1.
+Dataset load_idx(const std::string& images_path,
+                 const std::string& labels_path);
+
+// Loads a split from a directory holding the four standard MNIST files
+// (train-images-idx3-ubyte / train-labels-idx1-ubyte / t10k-*).
+Dataset load_idx_dir(const std::string& dir, bool train);
+
+}  // namespace ber::data

@@ -1,0 +1,53 @@
+#include "data/io.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+namespace ber::data {
+
+void fail(const std::string& path, const std::string& why) {
+  throw DataError(path + ": " + why);
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    fail(path, "no such file");
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  const std::uint64_t size = file_size(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open for reading");
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+  const std::size_t got =
+      bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    fail(path, "short read (" + std::to_string(got) + " of " +
+                   std::to_string(bytes.size()) + " bytes)");
+  }
+  return bytes;
+}
+
+std::uint32_t be32(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t fnv1a(const unsigned char* p, std::size_t n,
+                    std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace ber::data

@@ -1,0 +1,44 @@
+// Low-level file helpers shared by the dataset readers (data/idx.h,
+// data/cifar.h, data/shard.h): a typed error for corrupt or truncated
+// dataset files, whole-file reads, and big-endian field decoding.
+//
+// Hardening style follows serve/checkpoint.h: every structural property a
+// reader relies on (magic, version, counts, exact file size) is validated
+// against the bytes actually on disk BEFORE any allocation is sized from
+// them, and every failure names the offending path and what was expected.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ber::data {
+
+// Error for dataset-file problems: bad magic, truncation, absurd counts,
+// checksum mismatches. Distinct from std::invalid_argument (spec/parameter
+// errors) so callers can tell "your config is wrong" from "your data file
+// is corrupt".
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Throws DataError as "<path>: <why>".
+[[noreturn]] void fail(const std::string& path, const std::string& why);
+
+// Size of a regular file in bytes; throws DataError when it does not exist.
+std::uint64_t file_size(const std::string& path);
+
+// Whole-file binary read; throws DataError on open failure or short read.
+std::vector<unsigned char> read_file(const std::string& path);
+
+// Big-endian u32 at `p` (IDX headers are big-endian).
+std::uint32_t be32(const unsigned char* p);
+
+// FNV-1a over a byte range — the shard payload checksum (data/shard.h) and
+// cheap content fingerprints in tests.
+std::uint64_t fnv1a(const unsigned char* p, std::size_t n,
+                    std::uint64_t seed = 1469598103934665603ull);
+
+}  // namespace ber::data

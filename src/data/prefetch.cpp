@@ -1,0 +1,219 @@
+#include "data/prefetch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "core/rng.h"
+#include "obs/metrics.h"
+
+namespace ber::data {
+
+void DatasetSource::copy(long i, float* out_image, int* out_label) const {
+  const long stride = d_.channels() * d_.height() * d_.width();
+  std::memcpy(out_image, d_.images.data() + i * stride,
+              sizeof(float) * static_cast<std::size_t>(stride));
+  *out_label = d_.labels[static_cast<std::size_t>(i)];
+}
+
+void ShardSource::copy(long i, float* out_image, int* out_label) const {
+  const long pixels = r_.header().pixels();
+  std::memcpy(out_image, r_.image(i),
+              sizeof(float) * static_cast<std::size_t>(pixels));
+  *out_label = r_.label(i);
+}
+
+HeadSource::HeadSource(const RecordSource& inner, long limit)
+    : inner_(inner),
+      n_(limit > 0 ? std::min(limit, inner.size()) : inner.size()) {}
+
+// --------------------------------------------------------- PrefetchPipeline --
+
+namespace {
+
+obs::Counter& produced_counter() {
+  static obs::Counter& c = obs::registry().counter("data.batches_produced");
+  return c;
+}
+
+obs::Counter& stalls_counter() {
+  static obs::Counter& c = obs::registry().counter("data.prefetch_stalls");
+  return c;
+}
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("data.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+PrefetchPipeline::PrefetchPipeline(const RecordSource& source,
+                                   PrefetchConfig config)
+    : source_(source), config_(std::move(config)) {
+  if (config_.chunk_images < 1) {
+    throw std::invalid_argument("PrefetchPipeline: chunk_images must be >= 1");
+  }
+  if (config_.depth < 0) {
+    throw std::invalid_argument("PrefetchPipeline: depth must be >= 0");
+  }
+  if (!config_.order.empty()) {
+    for (const long i : config_.order) {
+      if (i < 0 || i >= source_.size()) {
+        throw std::invalid_argument(
+            "PrefetchPipeline: explicit order index " + std::to_string(i) +
+            " out of range [0, " + std::to_string(source_.size()) + ")");
+      }
+    }
+    order_ = std::move(config_.order);
+  } else {
+    order_.resize(static_cast<std::size_t>(source_.size()));
+    std::iota(order_.begin(), order_.end(), 0L);
+    if (config_.shuffle) {
+      // Same Fisher-Yates form as the trainer's epoch shuffle, so a fixed
+      // seed pins the permutation regardless of who consumes the stream.
+      Rng rng(config_.seed);
+      for (long i = static_cast<long>(order_.size()) - 1; i > 0; --i) {
+        std::swap(order_[static_cast<std::size_t>(i)],
+                  order_[static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<int>(i)))]);
+      }
+    }
+  }
+  const long n = static_cast<long>(order_.size());
+  n_chunks_ = (n + config_.chunk_images - 1) / config_.chunk_images;
+  if (config_.depth > 0 && n_chunks_ > 0) {
+    producer_ = std::thread([this] { producer_loop(); });
+  }
+}
+
+PrefetchPipeline::~PrefetchPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  can_produce_.notify_all();
+  can_consume_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+DataChunk PrefetchPipeline::produce_chunk(long chunk_index) {
+  const long begin = chunk_index * config_.chunk_images;
+  const long end = std::min(begin + config_.chunk_images,
+                            static_cast<long>(order_.size()));
+  const long b = end - begin;
+  DataChunk chunk;
+  chunk.index = chunk_index;
+  chunk.images = Tensor(
+      {b, source_.channels(), source_.height(), source_.width()});
+  chunk.labels.resize(static_cast<std::size_t>(b));
+  const long stride = source_.channels() * source_.height() * source_.width();
+  for (long i = 0; i < b; ++i) {
+    source_.copy(order_[static_cast<std::size_t>(begin + i)],
+                 chunk.images.data() + i * stride,
+                 &chunk.labels[static_cast<std::size_t>(i)]);
+  }
+  produced_counter().add(1);
+  return chunk;
+}
+
+void PrefetchPipeline::producer_loop() {
+  const std::size_t depth = static_cast<std::size_t>(config_.depth);
+  for (long c = 0; c < n_chunks_; ++c) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      can_produce_.wait(lock,
+                        [&] { return stop_ || queue_.size() < depth; });
+      if (stop_) return;
+    }
+    DataChunk chunk = produce_chunk(c);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      queue_.push_back(std::move(chunk));
+      ++produced_;
+      depth_gauge().set(static_cast<double>(queue_.size()));
+    }
+    can_consume_.notify_one();
+  }
+}
+
+bool PrefetchPipeline::next(DataChunk& out) {
+  if (config_.depth == 0) {
+    // Synchronous eager path: identical chunk assembly, no thread.
+    if (next_sync_ >= n_chunks_) return false;
+    out = produce_chunk(next_sync_++);
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty() && produced_ < n_chunks_) {
+    // Consumer outran the producer: a stall, the signal CI watches to size
+    // BER_PREFETCH_DEPTH against real storage latency.
+    stalls_counter().add(1);
+  }
+  can_consume_.wait(
+      lock, [&] { return !queue_.empty() || produced_ == n_chunks_; });
+  if (queue_.empty()) return false;  // drained
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  depth_gauge().set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  can_produce_.notify_one();
+  return true;
+}
+
+// --------------------------------------------------------------- env knobs --
+
+namespace {
+
+long env_long(const char* name, long fallback, long lo) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return std::max(lo, v);
+}
+
+}  // namespace
+
+int prefetch_depth() {
+  return static_cast<int>(env_long("BER_PREFETCH_DEPTH", 4, 0));
+}
+
+long prefetch_chunk() { return env_long("BER_PREFETCH_CHUNK", 64, 1); }
+
+Dataset materialize(const RecordSource& src, int depth, long chunk_images) {
+  Dataset d;
+  d.num_classes = src.num_classes();
+  const long n = src.size();
+  if (n == 0) return d;
+  d.images = Tensor({n, src.channels(), src.height(), src.width()});
+  d.labels.resize(static_cast<std::size_t>(n));
+  PrefetchConfig pc;
+  pc.chunk_images = chunk_images;
+  pc.depth = depth;
+  PrefetchPipeline pipe(src, pc);
+  const long stride = src.channels() * src.height() * src.width();
+  long at = 0;
+  DataChunk chunk;
+  while (pipe.next(chunk)) {
+    const long b = chunk.images.shape(0);
+    std::memcpy(d.images.data() + at * stride, chunk.images.data(),
+                sizeof(float) * static_cast<std::size_t>(b * stride));
+    std::copy(chunk.labels.begin(), chunk.labels.end(),
+              d.labels.begin() + at);
+    at += b;
+  }
+  if (at != n) {
+    throw std::runtime_error("materialize: pipeline delivered " +
+                             std::to_string(at) + " of " + std::to_string(n) +
+                             " records");
+  }
+  return d;
+}
+
+}  // namespace ber::data

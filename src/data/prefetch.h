@@ -1,0 +1,155 @@
+// Async prefetch pipeline: a background producer thread assembling
+// BatchQueue-sized chunks of records ahead of the consumer, with bounded
+// depth and condition-variable backpressure (the serve/batch_queue.h shape,
+// pointed the other way: one producer feeding one consumer).
+//
+// Determinism contract: the record order is fixed up front — either the
+// identity, an explicit order (the trainer's epoch shuffle), or a
+// Fisher-Yates permutation from the config seed — and the single producer
+// emits chunks in that order through a FIFO queue. Chunk contents are
+// therefore bit-identical for a fixed (source, config) no matter the
+// prefetch depth, the consumer's timing, or BER_THREADS; only the degree of
+// overlap changes. depth 0 degenerates to synchronous production inside
+// next() — the eager path through the very same code.
+//
+// Metrics (obs/metrics.h): data.batches_produced, data.prefetch_stalls
+// (consumer arrived at an empty queue), and the data.queue_depth gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/shard.h"
+
+namespace ber::data {
+
+// Row provider the pipeline pulls from. Implementations must tolerate
+// concurrent copy() calls from the producer thread while the constructing
+// thread is blocked in next().
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  virtual long size() const = 0;
+  virtual long channels() const = 0;
+  virtual long height() const = 0;
+  virtual long width() const = 0;
+  virtual int num_classes() const = 0;
+  // Copies record `i`: channels*height*width floats + one label.
+  virtual void copy(long i, float* out_image, int* out_label) const = 0;
+};
+
+// In-memory Dataset as a source (the trainer's epoch gather).
+class DatasetSource : public RecordSource {
+ public:
+  explicit DatasetSource(const Dataset& d) : d_(d) {}
+  long size() const override { return d_.size(); }
+  long channels() const override { return d_.channels(); }
+  long height() const override { return d_.height(); }
+  long width() const override { return d_.width(); }
+  int num_classes() const override { return d_.num_classes; }
+  void copy(long i, float* out_image, int* out_label) const override;
+
+ private:
+  const Dataset& d_;
+};
+
+// mmap-ed shard as a source (records decode zero-copy out of the mapping).
+class ShardSource : public RecordSource {
+ public:
+  explicit ShardSource(const ShardReader& r) : r_(r) {}
+  long size() const override { return r_.size(); }
+  long channels() const override { return r_.header().channels; }
+  long height() const override { return r_.header().height; }
+  long width() const override { return r_.header().width; }
+  int num_classes() const override {
+    return static_cast<int>(r_.header().num_classes);
+  }
+  void copy(long i, float* out_image, int* out_label) const override;
+
+ private:
+  const ShardReader& r_;
+};
+
+// First min(limit, size) records of another source (n_train/n_test caps).
+class HeadSource : public RecordSource {
+ public:
+  HeadSource(const RecordSource& inner, long limit);
+  long size() const override { return n_; }
+  long channels() const override { return inner_.channels(); }
+  long height() const override { return inner_.height(); }
+  long width() const override { return inner_.width(); }
+  int num_classes() const override { return inner_.num_classes(); }
+  void copy(long i, float* out_image, int* out_label) const override {
+    inner_.copy(i, out_image, out_label);
+  }
+
+ private:
+  const RecordSource& inner_;
+  long n_;
+};
+
+struct PrefetchConfig {
+  long chunk_images = 64;   // records per chunk (the trainer uses batch_size)
+  int depth = 4;            // chunks in flight; 0 = synchronous (no thread)
+  bool shuffle = false;     // seeded Fisher-Yates over the whole stream
+  std::uint64_t seed = 0;
+  std::vector<long> order;  // explicit record order (overrides shuffle)
+};
+
+// One produced chunk: a [n, C, H, W] image block plus labels, numbered by
+// position in the stream.
+struct DataChunk {
+  Tensor images;
+  std::vector<int> labels;
+  long index = 0;
+};
+
+class PrefetchPipeline {
+ public:
+  PrefetchPipeline(const RecordSource& source, PrefetchConfig config);
+  ~PrefetchPipeline();
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  // Pops the next chunk (FIFO). Returns false once the stream is drained.
+  bool next(DataChunk& out);
+
+  // The resolved record order (identity / explicit / seeded shuffle).
+  const std::vector<long>& order() const { return order_; }
+  long chunks() const { return n_chunks_; }
+
+ private:
+  DataChunk produce_chunk(long chunk_index);
+  void producer_loop();
+
+  const RecordSource& source_;
+  PrefetchConfig config_;
+  std::vector<long> order_;
+  long n_chunks_ = 0;
+  long next_sync_ = 0;  // depth 0: next chunk to produce inline
+
+  std::mutex mu_;
+  std::condition_variable can_produce_;
+  std::condition_variable can_consume_;
+  std::deque<DataChunk> queue_;
+  long produced_ = 0;  // chunks pushed by the producer thread
+  bool stop_ = false;
+  std::thread producer_;
+};
+
+// Environment knobs (read per call, like core/parallel.cpp reads
+// BER_THREADS): BER_PREFETCH_DEPTH (default 4; 0 = synchronous eager) and
+// BER_PREFETCH_CHUNK (default 64 records).
+int prefetch_depth();
+long prefetch_chunk();
+
+// Streams `src` through a PrefetchPipeline (depth/chunk from the arguments)
+// into an in-memory Dataset. Bit-identical for any depth >= 0.
+Dataset materialize(const RecordSource& src, int depth, long chunk_images);
+
+}  // namespace ber::data

@@ -1,0 +1,275 @@
+#include "data/shard.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "data/io.h"
+#include "obs/metrics.h"
+
+namespace ber::data {
+
+namespace {
+
+constexpr std::uint64_t kMaxShardCount = 100'000'000;
+constexpr std::uint32_t kMaxShardDim = 4096;
+constexpr std::uint64_t kChecksumSeed = 1469598103934665603ull;
+
+void put_le32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode_header(unsigned char* buf, const ShardHeader& h) {
+  std::memcpy(buf, kShardMagic, 4);
+  put_le32(buf + 4, kShardVersion);
+  put_le64(buf + 8, h.count);
+  put_le32(buf + 16, h.channels);
+  put_le32(buf + 20, h.height);
+  put_le32(buf + 24, h.width);
+  put_le32(buf + 28, h.num_classes);
+  put_le64(buf + 32, h.checksum);
+  put_le64(buf + 40, 0);  // reserved
+}
+
+// Parses + validates the 48 header bytes against the actual file size.
+ShardHeader parse_header(const std::string& path, const unsigned char* buf,
+                         std::uint64_t bytes) {
+  if (bytes < static_cast<std::uint64_t>(kShardHeaderBytes)) {
+    fail(path, "truncated shard header (" + std::to_string(bytes) +
+                   " bytes, need " + std::to_string(kShardHeaderBytes) + ")");
+  }
+  if (std::memcmp(buf, kShardMagic, 4) != 0) {
+    fail(path, "bad shard magic (expected \"BERS\")");
+  }
+  const std::uint32_t version = le32(buf + 4);
+  if (version != kShardVersion) {
+    fail(path, "unsupported shard version " + std::to_string(version) +
+                   " (expected " + std::to_string(kShardVersion) + ")");
+  }
+  ShardHeader h;
+  h.count = le64(buf + 8);
+  h.channels = le32(buf + 16);
+  h.height = le32(buf + 20);
+  h.width = le32(buf + 24);
+  h.num_classes = le32(buf + 28);
+  h.checksum = le64(buf + 32);
+  if (h.count < 1 || h.count > kMaxShardCount) {
+    fail(path, "absurd record count " + std::to_string(h.count));
+  }
+  if (h.channels < 1 || h.channels > kMaxShardDim || h.height < 1 ||
+      h.height > kMaxShardDim || h.width < 1 || h.width > kMaxShardDim) {
+    fail(path, "absurd record geometry " + std::to_string(h.channels) + "x" +
+                   std::to_string(h.height) + "x" + std::to_string(h.width));
+  }
+  if (h.num_classes < 1 || h.num_classes > kMaxShardDim) {
+    fail(path, "absurd num_classes " + std::to_string(h.num_classes));
+  }
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(kShardHeaderBytes) +
+      h.count * static_cast<std::uint64_t>(h.record_stride());
+  if (bytes != want) {
+    fail(path, "size mismatch: header promises " + std::to_string(want) +
+                   " bytes (" + std::to_string(h.count) + " records), file "
+                   "has " + std::to_string(bytes));
+  }
+  return h;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- ShardWriter --
+
+ShardWriter::ShardWriter(const std::string& path, long channels, long height,
+                         long width, int num_classes)
+    : path_(path), checksum_(kChecksumSeed) {
+  if (channels < 1 || height < 1 || width < 1 || num_classes < 1) {
+    throw std::invalid_argument(
+        "ShardWriter: geometry and num_classes must be >= 1");
+  }
+  header_.channels = static_cast<std::uint32_t>(channels);
+  header_.height = static_cast<std::uint32_t>(height);
+  header_.width = static_cast<std::uint32_t>(width);
+  header_.num_classes = static_cast<std::uint32_t>(num_classes);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) fail(path_, "cannot open for writing");
+  // Placeholder header; close() backpatches count + checksum.
+  unsigned char buf[kShardHeaderBytes];
+  encode_header(buf, header_);
+  if (std::fwrite(buf, 1, sizeof(buf), file_) != sizeof(buf)) {
+    fail(path_, "cannot write shard header");
+  }
+}
+
+ShardWriter::~ShardWriter() {
+  // Abandoned writer: close the handle, leave the file unfinalized (count 0
+  // in the header makes it unreadable — a crash never yields a valid shard).
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ShardWriter::add(int label, const float* image) {
+  if (file_ == nullptr) fail(path_, "ShardWriter already closed");
+  const long pixels = header_.pixels();
+  std::vector<unsigned char> rec(static_cast<std::size_t>(4 + 4 * pixels));
+  put_le32(rec.data(), static_cast<std::uint32_t>(label));
+  // Pixel floats as their IEEE-754 bit patterns, little-endian.
+  for (long p = 0; p < pixels; ++p) {
+    std::uint32_t bits;
+    std::memcpy(&bits, image + p, 4);
+    put_le32(rec.data() + 4 + 4 * p, bits);
+  }
+  if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size()) {
+    fail(path_, "short write at record " + std::to_string(count_));
+  }
+  checksum_ = fnv1a(rec.data(), rec.size(), checksum_);
+  ++count_;
+}
+
+void ShardWriter::close() {
+  if (file_ == nullptr) fail(path_, "ShardWriter already closed");
+  header_.count = count_;
+  header_.checksum = checksum_;
+  unsigned char buf[kShardHeaderBytes];
+  encode_header(buf, header_);
+  const bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
+                  std::fwrite(buf, 1, sizeof(buf), file_) == sizeof(buf) &&
+                  std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!ok) fail(path_, "cannot finalize shard header");
+}
+
+void write_shard(const std::string& path, const Dataset& d) {
+  ShardWriter w(path, d.channels(), d.height(), d.width(), d.num_classes);
+  const long stride = d.channels() * d.height() * d.width();
+  for (long i = 0; i < d.size(); ++i) {
+    w.add(d.labels[static_cast<std::size_t>(i)], d.images.data() + i * stride);
+  }
+  w.close();
+}
+
+ShardHeader read_shard_header(const std::string& path) {
+  const std::uint64_t bytes = file_size(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open for reading");
+  unsigned char buf[kShardHeaderBytes] = {};
+  const std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  if (got != sizeof(buf)) fail(path, "truncated shard header");
+  return parse_header(path, buf, bytes);
+}
+
+// -------------------------------------------------------------- ShardReader --
+
+ShardReader::ShardReader(const std::string& path, bool verify_checksum)
+    : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path_, "no such file");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    fail(path_, "not a regular file");
+  }
+  map_bytes_ = static_cast<std::uint64_t>(st.st_size);
+  if (map_bytes_ == 0) {
+    ::close(fd);
+    fail(path_, "empty file");
+  }
+  void* map = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (map == MAP_FAILED) fail(path_, "mmap failed");
+  map_ = map;
+  try {
+    header_ = parse_header(path_, static_cast<const unsigned char*>(map_),
+                           map_bytes_);
+    if (verify_checksum) {
+      const std::uint64_t got =
+          fnv1a(static_cast<const unsigned char*>(map_) + kShardHeaderBytes,
+                static_cast<std::size_t>(map_bytes_) - kShardHeaderBytes,
+                kChecksumSeed);
+      if (got != header_.checksum) {
+        fail(path_, "payload checksum mismatch (stored " +
+                        std::to_string(header_.checksum) + ", computed " +
+                        std::to_string(got) + ")");
+      }
+    }
+  } catch (...) {
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    throw;
+  }
+  obs::registry().counter("data.bytes_mapped").add(map_bytes_);
+}
+
+ShardReader::~ShardReader() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+ShardReader::ShardReader(ShardReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      header_(other.header_),
+      map_(other.map_),
+      map_bytes_(other.map_bytes_) {
+  other.map_ = nullptr;
+  other.map_bytes_ = 0;
+}
+
+const unsigned char* ShardReader::record(long i) const {
+  return static_cast<const unsigned char*>(map_) + kShardHeaderBytes +
+         i * header_.record_stride();
+}
+
+int ShardReader::label(long i) const {
+  return static_cast<int>(le32(record(i)));
+}
+
+const float* ShardReader::image(long i) const {
+  // The record's pixel block is 4-byte aligned (header and stride are both
+  // multiples of 4), so on little-endian targets the mapped bytes ARE the
+  // float array — zero copies, zero decode.
+  return reinterpret_cast<const float*>(record(i) + 4);
+}
+
+Dataset ShardReader::to_dataset(long limit) const {
+  const long n = limit > 0 ? std::min(limit, size()) : size();
+  Dataset d;
+  d.num_classes = static_cast<int>(header_.num_classes);
+  d.images = Tensor({n, static_cast<long>(header_.channels),
+                     static_cast<long>(header_.height),
+                     static_cast<long>(header_.width)});
+  d.labels.resize(static_cast<std::size_t>(n));
+  const long pixels = header_.pixels();
+  for (long i = 0; i < n; ++i) {
+    d.labels[static_cast<std::size_t>(i)] = label(i);
+    std::memcpy(d.images.data() + i * pixels, image(i),
+                sizeof(float) * static_cast<std::size_t>(pixels));
+  }
+  return d;
+}
+
+}  // namespace ber::data

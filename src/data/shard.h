@@ -1,0 +1,121 @@
+// BERS shard format: the repo's mmap-able on-disk dataset container.
+//
+// Layout (little-endian, 48-byte header, then `count` fixed-stride records):
+//
+//   offset  size  field
+//        0     4  magic "BERS"
+//        4     4  u32 version (= 1)
+//        8     8  u64 record count
+//       16     4  u32 channels
+//       20     4  u32 height
+//       24     4  u32 width
+//       28     4  u32 num_classes
+//       32     8  u64 FNV-1a checksum of the payload bytes
+//       40     8  u64 reserved (= 0)
+//
+// A record is `i32 label` followed by channels*height*width f32 pixels, so
+// the stride is 4 * (1 + C*H*W) bytes and every float in the mapping is
+// 4-byte aligned (header and stride are both multiples of 4).
+//
+// ShardWriter streams records and backpatches count + checksum on close();
+// ShardReader maps the file read-only (POSIX mmap) and serves labels and
+// pixel rows zero-copy out of the mapping. Open-time validation in the
+// checkpoint.h style: magic, version, absurd dims, exact file size against
+// the promised count, and (by default) the payload checksum all throw
+// data::DataError before a single record is trusted.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ber::data {
+
+inline constexpr char kShardMagic[4] = {'B', 'E', 'R', 'S'};
+inline constexpr std::uint32_t kShardVersion = 1;
+inline constexpr long kShardHeaderBytes = 48;
+
+struct ShardHeader {
+  std::uint64_t count = 0;
+  std::uint32_t channels = 0;
+  std::uint32_t height = 0;
+  std::uint32_t width = 0;
+  std::uint32_t num_classes = 0;
+  std::uint64_t checksum = 0;
+
+  long pixels() const {
+    return static_cast<long>(channels) * height * width;
+  }
+  long record_stride() const {  // bytes
+    return 4 + 4 * pixels();
+  }
+};
+
+// Streams records into `path`, backpatching the header on close(). Throws
+// DataError on any I/O failure; the destructor closes without finalizing
+// (a shard abandoned mid-write stays invalid and unreadable by design).
+class ShardWriter {
+ public:
+  ShardWriter(const std::string& path, long channels, long height, long width,
+              int num_classes);
+  ~ShardWriter();
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  // Appends one record: a label and channels*height*width floats.
+  void add(int label, const float* image);
+  // Seek-back finalize: writes count + checksum into the header and closes.
+  void close();
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  ShardHeader header_;
+  std::uint64_t count_ = 0;
+  std::uint64_t checksum_;
+};
+
+// Whole-dataset convenience over ShardWriter.
+void write_shard(const std::string& path, const Dataset& d);
+
+// Header-only peek (reads 48 bytes, validates magic/version/size math, no
+// mapping, no checksum). For tooling: `ber_data info`.
+ShardHeader read_shard_header(const std::string& path);
+
+// Read-only mmap view of a shard. Move-only; the mapping lives until
+// destruction, so labels() / image(i) pointers are zero-copy borrows.
+class ShardReader {
+ public:
+  explicit ShardReader(const std::string& path, bool verify_checksum = true);
+  ~ShardReader();
+  ShardReader(ShardReader&& other) noexcept;
+  ShardReader& operator=(ShardReader&&) = delete;
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
+
+  const ShardHeader& header() const { return header_; }
+  long size() const { return static_cast<long>(header_.count); }
+  const std::string& path() const { return path_; }
+
+  int label(long i) const;
+  // Pointer into the mapping: header().pixels() floats, 4-byte aligned.
+  const float* image(long i) const;
+
+  // Materializes the first min(limit, size) records (limit 0 = all) as an
+  // in-memory Dataset.
+  Dataset to_dataset(long limit = 0) const;
+
+ private:
+  const unsigned char* record(long i) const;
+
+  std::string path_;
+  ShardHeader header_;
+  void* map_ = nullptr;
+  std::uint64_t map_bytes_ = 0;
+};
+
+}  // namespace ber::data

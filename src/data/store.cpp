@@ -1,0 +1,28 @@
+#include "data/store.h"
+
+namespace ber::data {
+
+const Dataset& DatasetStore::get(const std::string& key,
+                                 const std::function<Dataset()>& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(key, build()).first->second;
+}
+
+bool DatasetStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.find(key) != cache_.end();
+}
+
+std::size_t DatasetStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+DatasetStore& dataset_store() {
+  static DatasetStore store;
+  return store;
+}
+
+}  // namespace ber::data

@@ -1,0 +1,42 @@
+// Process-wide keyed dataset store: the ONE cache of materialized Datasets.
+//
+// Both consumers that used to keep private caches — zoo::dataset_cache()
+// and api::Runner::datasets_ — route through this store with canonical keys
+// (data/source.h dataset_key()), so a zoo model and an inline spec model
+// that name the same data share one materialization instead of building it
+// twice.
+//
+// get() is build-through: the builder runs under the store lock (one
+// builder per key, ever), and the returned reference is stable for the
+// process lifetime (std::map nodes never move). Builders must not recurse
+// into the store — derived entries (eval subsets) materialize their parent
+// BEFORE calling get().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ber::data {
+
+class DatasetStore {
+ public:
+  // Returns the cached Dataset for `key`, building it on first request.
+  const Dataset& get(const std::string& key,
+                     const std::function<Dataset()>& build);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Dataset> cache_;
+};
+
+// The process-wide store.
+DatasetStore& dataset_store();
+
+}  // namespace ber::data

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerates the golden dataset fixtures checked in next to this script.
+
+Tiny but fully valid instances of the two on-disk formats the readers in
+src/data/ parse:
+
+  idx/      MNIST-layout IDX pair per split: 6 train / 3 test images of
+            5x4 gray pixels, labels in {0,1,2}. Pixel (i, r, c) has byte
+            value (37*i + 5*r + c) % 256.
+  cifar10/  CIFAR-10 binary layout: data_batch_1..5.bin with 2 records
+            each + test_batch.bin with 2 records. Record k (global index
+            across files) has label k % 10 and pixel byte (k*7 + j) % 256
+            at payload offset j (channel-planar RGB).
+
+Run from anywhere: paths are relative to this file. The expected values
+are mirrored in tests/test_datasets.cpp — change one, change both.
+"""
+import os
+import struct
+
+root = os.path.dirname(os.path.abspath(__file__))
+
+def write(path, data):
+    with open(path, "wb") as f:
+        f.write(data)
+
+# ----------------------------------------------------------------- IDX ---
+idx = os.path.join(root, "idx")
+os.makedirs(idx, exist_ok=True)
+ROWS, COLS = 5, 4
+for stem, n, label_of in (("train", 6, lambda i: i % 3),
+                          ("t10k", 3, lambda i: (i + 2) % 3)):
+    images = struct.pack(">IIII", 0x00000803, n, ROWS, COLS)
+    images += bytes((37 * i + 5 * r + c) % 256
+                    for i in range(n) for r in range(ROWS) for c in range(COLS))
+    write(os.path.join(idx, stem + "-images-idx3-ubyte"), images)
+    labels = struct.pack(">II", 0x00000801, n)
+    labels += bytes(label_of(i) for i in range(n))
+    write(os.path.join(idx, stem + "-labels-idx1-ubyte"), labels)
+
+# ------------------------------------------------------------- CIFAR-10 ---
+cifar = os.path.join(root, "cifar10")
+os.makedirs(cifar, exist_ok=True)
+PER_FILE = 2
+IMAGE_BYTES = 3 * 32 * 32
+k = 0
+for name in [f"data_batch_{i}.bin" for i in range(1, 6)] + ["test_batch.bin"]:
+    blob = b""
+    for _ in range(PER_FILE):
+        blob += bytes([k % 10])
+        blob += bytes((k * 7 + j) % 256 for j in range(IMAGE_BYTES))
+        k += 1
+    write(os.path.join(cifar, name), blob)
+
+print("fixtures written under", root)

@@ -5,6 +5,8 @@
 //   ber_run --out report.json configs/...   # write the report to a file
 //   ber_run --print-spec configs/...        # parse+validate+echo, no run
 //   ber_run --list                          # registry names a spec can use
+//   ber_run --list datasets                 # dataset presets + source types
+//                                           # + expected file layouts
 //   ber_run --metrics-out m.json configs/... # obs registry snapshot to file
 //   ber_run --trace-out t.json configs/...   # chrome://tracing trace to file
 //   ber_run --forensics-out f.json configs/... # fault-forensics sections
@@ -42,7 +44,7 @@ int usage() {
                "[--trace-out FILE] [--forensics-out FILE] [--baseline FILE] "
                "[--table] [--print-spec] SPEC.json [SPEC.json ...]\n"
                "       ber_run --baseline FILE --report REPORT.json\n"
-               "       ber_run --list\n");
+               "       ber_run --list [datasets]\n");
   return 2;
 }
 
@@ -69,7 +71,25 @@ int run_baseline_diff(const std::string& baseline_path, const Json& current) {
   return diff.ok() ? 0 : 3;
 }
 
-void list_registries() {
+// Dataset listing: registry preset names alongside the source types a
+// spec's data.source accepts and the on-disk layout each source expects.
+Json dataset_listing() {
+  Json j = Json::object();
+  Json presets = Json::array();
+  for (const auto& n : api::dataset_names()) presets.push_back(n);
+  j.set("datasets", presets);
+  Json sources = Json::array();
+  for (const auto& n : data::dataset_source_names()) sources.push_back(n);
+  j.set("dataset_sources", sources);
+  j.set("dataset_source_layouts", data::source_layouts());
+  return j;
+}
+
+void list_registries(const std::string& topic) {
+  if (topic == "datasets") {
+    std::printf("%s\n", dataset_listing().dump(2).c_str());
+    return;
+  }
   Json j = Json::object();
   Json faults = Json::array();
   for (const auto& n : api::fault_models().names()) faults.push_back(n);
@@ -88,6 +108,7 @@ void list_registries() {
   j.set("archs", names_json(api::arch_names()));
   j.set("norms", names_json(api::norm_names()));
   j.set("datasets", names_json(api::dataset_names()));
+  j.set("dataset_sources", names_json(data::dataset_source_names()));
   j.set("quant_schemes", names_json(api::quant_scheme_names()));
   j.set("training_methods", names_json(api::method_names()));
   // The fault models eval.forensics can instrument: code-space injectors
@@ -136,7 +157,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
-      list_registries();
+      // Optional topic operand ("datasets" adds source file layouts).
+      std::string topic;
+      if (i + 1 < argc && argv[i + 1][0] != '-') topic = argv[++i];
+      list_registries(topic);
       return 0;
     } else if (arg == "--table") {
       table = true;
